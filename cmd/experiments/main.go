@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list                 # show available experiment ids
+//	experiments -run fig5             # one experiment
+//	experiments -run fig1,table4      # several
+//	experiments                       # the full reproduction suite
+//
+// Budgets scale with -instrs/-warmup; -bench restricts the workload
+// suite for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"memsim/internal/experiments"
+)
+
+func main() {
+	opt := experiments.Defaults()
+	var (
+		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
+		seed   = flag.Uint64("seed", 0, "workload sample seed offset")
+		instrs = flag.Uint64("instrs", opt.Instrs, "measured instructions per run")
+		warmup = flag.Uint64("warmup", opt.Warmup, "warmup instructions per run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-11s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	opt.Instrs = *instrs
+	opt.Warmup = *warmup
+	opt.Seed = *seed
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+	runner, err := experiments.NewRunner(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := experiments.All()
+	if *run != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println(strings.Repeat("=", 72))
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := e.Run(runner, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

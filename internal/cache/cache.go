@@ -1,0 +1,348 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy: LRU replacement with a configurable insertion
+// position on the recency chain, writeback with write-allocate, and
+// prefetch-accuracy bookkeeping.
+//
+// The insertion position is the mechanism of Section 4.1: prefetched
+// blocks loaded with LRU priority can displace at most one way's worth
+// of referenced data, bounding pollution when prefetch accuracy is low.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// InsertPos selects where a filled block lands on a set's recency
+// chain: most-recently-used, second-most, second-least, or least.
+type InsertPos int
+
+// Insertion priorities, from highest (MRU) to lowest (LRU).
+const (
+	MRU InsertPos = iota
+	SMRU
+	SLRU
+	LRU
+)
+
+// String names the insertion position.
+func (p InsertPos) String() string {
+	switch p {
+	case MRU:
+		return "MRU"
+	case SMRU:
+		return "SMRU"
+	case SLRU:
+		return "SLRU"
+	case LRU:
+		return "LRU"
+	default:
+		return fmt.Sprintf("InsertPos(%d)", int(p))
+	}
+}
+
+// Positions lists all insertion priorities in chain order.
+var Positions = []InsertPos{MRU, SMRU, SLRU, LRU}
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int64
+	Assoc      int
+	BlockBytes int
+}
+
+// Validate checks the configuration for realizability.
+func (c Config) Validate() error {
+	if c.BlockBytes <= 0 || bits.OnesCount64(uint64(c.BlockBytes)) != 1 {
+		return fmt.Errorf("cache %s: block size %d not a power of two", c.Name, c.BlockBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: associativity %d invalid", c.Name, c.Assoc)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%int64(c.Assoc*c.BlockBytes) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*block", c.Name, c.SizeBytes)
+	}
+	sets := c.NumSets()
+	if sets == 0 || bits.OnesCount64(uint64(sets)) != 1 {
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// NumSets reports the number of sets.
+func (c Config) NumSets() int { return int(c.SizeBytes) / (c.Assoc * c.BlockBytes) }
+
+// line is one cache block. Lines live in per-set slices ordered from
+// MRU (index 0) to LRU (last index).
+type line struct {
+	block      uint64 // block-aligned address
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by prefetch and not yet demand-referenced
+}
+
+// Victim describes a block evicted by Insert.
+type Victim struct {
+	Addr  uint64 // block-aligned address
+	Dirty bool
+	Valid bool // false when the fill used an empty way
+	// Prefetched marks a victim that was prefetched and never
+	// referenced — a wasted prefetch.
+	Prefetched bool
+}
+
+// Stats counts cache activity. Demand statistics exclude prefetch
+// fills and probes.
+type Stats struct {
+	Accesses uint64 // demand lookups
+	Misses   uint64 // demand lookups that missed
+	Writes   uint64 // demand lookups that were stores
+	// Prefetch bookkeeping for accuracy measurement.
+	PrefetchFills   uint64 // blocks inserted by the prefetcher
+	PrefetchUsed    uint64 // prefetched blocks later demand-referenced
+	PrefetchEvicted uint64 // prefetched blocks evicted unreferenced
+	DirtyEvictions  uint64
+	Evictions       uint64
+}
+
+// Delta returns the counters accumulated since base was captured.
+func (s Stats) Delta(base Stats) Stats {
+	return Stats{
+		Accesses:        s.Accesses - base.Accesses,
+		Misses:          s.Misses - base.Misses,
+		Writes:          s.Writes - base.Writes,
+		PrefetchFills:   s.PrefetchFills - base.PrefetchFills,
+		PrefetchUsed:    s.PrefetchUsed - base.PrefetchUsed,
+		PrefetchEvicted: s.PrefetchEvicted - base.PrefetchEvicted,
+		DirtyEvictions:  s.DirtyEvictions - base.DirtyEvictions,
+		Evictions:       s.Evictions - base.Evictions,
+	}
+}
+
+// MissRate reports demand misses per demand access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// PrefetchAccuracy reports the fraction of settled prefetches (used or
+// evicted) that were referenced before eviction.
+func (s Stats) PrefetchAccuracy() float64 {
+	settled := s.PrefetchUsed + s.PrefetchEvicted
+	if settled == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUsed) / float64(settled)
+}
+
+// Cache is a set-associative, writeback, write-allocate cache model.
+// It tracks tags and recency only; data contents are not simulated.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	shift   uint
+	stats   Stats
+
+	// PrefetchUsedHook, if set, fires each time a demand access first
+	// references a prefetched block (the prefetch accuracy throttle's
+	// success signal).
+	PrefetchUsedHook func()
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, cfg.NumSets()),
+		setMask: uint64(cfg.NumSets() - 1),
+		shift:   uint(bits.TrailingZeros64(uint64(cfg.BlockBytes))),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// Config reports the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockAddr returns the block-aligned address containing addr.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.BlockBytes) - 1)
+}
+
+func (c *Cache) setIndex(block uint64) uint64 { return (block >> c.shift) & c.setMask }
+
+// Access performs a demand lookup, updating recency and statistics.
+// On a hit the block moves to MRU; a write marks it dirty. It reports
+// whether the block was present.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	block := c.BlockAddr(addr)
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	}
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			if set[i].prefetched {
+				set[i].prefetched = false
+				c.stats.PrefetchUsed++
+				if c.PrefetchUsedHook != nil {
+					c.PrefetchUsedHook()
+				}
+			}
+			if write {
+				set[i].dirty = true
+			}
+			// Move to MRU.
+			ln := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = ln
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports whether the block holding addr is resident, without
+// disturbing recency or statistics. The prefetch engine uses it to
+// build region bitmaps.
+func (c *Cache) Contains(addr uint64) bool {
+	block := c.BlockAddr(addr)
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the block containing addr at the given recency position,
+// returning the victim (Valid=false when an empty way absorbed the
+// fill). dirty marks the new block modified (write-allocate stores);
+// prefetched tags it for accuracy accounting. Inserting a block that is
+// already resident refreshes its position without eviction.
+func (c *Cache) Insert(addr uint64, pos InsertPos, dirty, prefetched bool) Victim {
+	block := c.BlockAddr(addr)
+	si := c.setIndex(block)
+	set := c.sets[si]
+	if prefetched {
+		c.stats.PrefetchFills++
+	}
+
+	// Already resident: reposition only (can happen when a demand fill
+	// races a prefetch of the same block).
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			ln := set[i]
+			ln.dirty = ln.dirty || dirty
+			ln.prefetched = ln.prefetched && prefetched
+			set = append(set[:i], set[i+1:]...)
+			c.sets[si] = insertAt(set, c.place(pos, len(set)), ln)
+			return Victim{}
+		}
+	}
+
+	var victim Victim
+	if len(set) >= c.cfg.Assoc {
+		// Evict the LRU line.
+		v := set[len(set)-1]
+		set = set[:len(set)-1]
+		victim = Victim{Addr: v.block, Dirty: v.dirty, Valid: true, Prefetched: v.prefetched}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.DirtyEvictions++
+		}
+		if v.prefetched {
+			c.stats.PrefetchEvicted++
+		}
+	}
+	ln := line{block: block, valid: true, dirty: dirty, prefetched: prefetched}
+	c.sets[si] = insertAt(set, c.place(pos, len(set)), ln)
+	return victim
+}
+
+// place converts an insertion priority to an index on a chain that will
+// have n+1 entries after insertion.
+func (c *Cache) place(pos InsertPos, n int) int {
+	var idx int
+	switch pos {
+	case MRU:
+		idx = 0
+	case SMRU:
+		idx = 1
+	case SLRU:
+		idx = c.cfg.Assoc - 2
+	case LRU:
+		idx = c.cfg.Assoc - 1
+	default:
+		panic(fmt.Sprintf("cache: invalid insert position %d", pos))
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > n {
+		idx = n
+	}
+	return idx
+}
+
+func insertAt(set []line, i int, ln line) []line {
+	set = append(set, line{})
+	copy(set[i+1:], set[i:])
+	set[i] = ln
+	return set
+}
+
+// MarkDirty sets the dirty bit of a resident block without disturbing
+// recency or demand statistics. Inner-cache writebacks absorbed by
+// this cache use it. It reports whether the block was present.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	block := c.BlockAddr(addr)
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the block containing addr, reporting whether it
+// was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	block := c.BlockAddr(addr)
+	si := c.setIndex(block)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			dirty = set[i].dirty
+			c.sets[si] = append(set[:i], set[i+1:]...)
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// ResidentBlocks reports how many valid blocks the cache holds.
+func (c *Cache) ResidentBlocks() int {
+	n := 0
+	for _, set := range c.sets {
+		n += len(set)
+	}
+	return n
+}

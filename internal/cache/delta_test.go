@@ -1,0 +1,53 @@
+package cache
+
+import "testing"
+
+func TestStatsDelta(t *testing.T) {
+	base := Stats{Accesses: 10, Misses: 4, Writes: 2, PrefetchFills: 3, PrefetchUsed: 1, PrefetchEvicted: 1, DirtyEvictions: 1, Evictions: 2}
+	cur := Stats{Accesses: 25, Misses: 9, Writes: 5, PrefetchFills: 8, PrefetchUsed: 4, PrefetchEvicted: 2, DirtyEvictions: 3, Evictions: 6}
+	d := cur.Delta(base)
+	want := Stats{Accesses: 15, Misses: 5, Writes: 3, PrefetchFills: 5, PrefetchUsed: 3, PrefetchEvicted: 1, DirtyEvictions: 2, Evictions: 4}
+	if d != want {
+		t.Fatalf("Delta = %+v, want %+v", d, want)
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	c, err := New(Config{Name: "t", SizeBytes: 256, Assoc: 4, BlockBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0, MRU, false, false)
+	if !c.MarkDirty(0x20) { // same block
+		t.Fatal("MarkDirty missed a resident block")
+	}
+	if c.MarkDirty(0x4000) {
+		t.Fatal("MarkDirty claimed an absent block")
+	}
+	// The dirty bit must survive to eviction.
+	for i := uint64(1); i < 5; i++ {
+		c.Insert(i*64, MRU, false, false)
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Fatal("MarkDirty bit lost before eviction")
+	}
+	// And MarkDirty must not disturb recency or demand stats.
+	if c.Stats().Accesses != 0 {
+		t.Fatal("MarkDirty counted as a demand access")
+	}
+}
+
+func TestInsertPositionsLowAssoc(t *testing.T) {
+	// With 2 ways, SLRU clamps to index 0 and LRU to 1; inserts must
+	// not panic or misplace.
+	c, err := New(Config{Name: "t2", SizeBytes: 128, Assoc: 2, BlockBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0, MRU, false, false)
+	c.Insert(64, SLRU, false, false)
+	c.Insert(128, LRU, false, false) // evicts the LRU line
+	if c.ResidentBlocks() != 2 {
+		t.Fatalf("ResidentBlocks = %d", c.ResidentBlocks())
+	}
+}

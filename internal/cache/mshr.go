@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"fmt"
+
+	"memsim/internal/sim"
+)
+
+// MSHR is one miss-status holding register: an outstanding fill for a
+// block, with the requests merged into it.
+type MSHR struct {
+	Block uint64
+	// PrefetchOnly is true while the fill was initiated by the
+	// prefetcher and no demand request has merged into it. A demand
+	// miss that finds an in-flight prefetch merges and clears this.
+	PrefetchOnly bool
+	// Waiters are completion callbacks invoked with the fill time.
+	Waiters []func(sim.Time)
+}
+
+// MSHRTable tracks outstanding misses with bounded capacity, merging
+// requests to the same block into one entry. Real tables hold a
+// handful of entries (8 in the paper's data caches), so a linear scan
+// beats hashing on the hot lookup path.
+type MSHRTable struct {
+	capacity int
+	entries  []*MSHR
+	// HighWater tracks the maximum simultaneous occupancy observed.
+	HighWater int
+}
+
+// NewMSHRTable returns a table with the given capacity.
+func NewMSHRTable(capacity int) *MSHRTable {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: MSHR capacity %d invalid", capacity))
+	}
+	return &MSHRTable{capacity: capacity, entries: make([]*MSHR, 0, capacity)}
+}
+
+// Capacity reports the table size.
+func (t *MSHRTable) Capacity() int { return t.capacity }
+
+// Len reports current occupancy.
+func (t *MSHRTable) Len() int { return len(t.entries) }
+
+// Full reports whether no further entries can be allocated.
+func (t *MSHRTable) Full() bool { return len(t.entries) >= t.capacity }
+
+// Lookup returns the in-flight entry for the block, if any.
+func (t *MSHRTable) Lookup(block uint64) (*MSHR, bool) {
+	for _, m := range t.entries {
+		if m.Block == block {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Allocate creates an entry for the block. It panics if the table is
+// full or the block already has an entry; callers must check Full and
+// Lookup first.
+func (t *MSHRTable) Allocate(block uint64, prefetchOnly bool) *MSHR {
+	if t.Full() {
+		panic("cache: MSHR allocate on full table")
+	}
+	if _, ok := t.Lookup(block); ok {
+		panic(fmt.Sprintf("cache: duplicate MSHR for block %#x", block))
+	}
+	m := &MSHR{Block: block, PrefetchOnly: prefetchOnly}
+	t.entries = append(t.entries, m)
+	if len(t.entries) > t.HighWater {
+		t.HighWater = len(t.entries)
+	}
+	return m
+}
+
+// Complete removes the block's entry and invokes its waiters with the
+// fill time. Completing an unknown block panics: it indicates a fill
+// without a matching miss.
+func (t *MSHRTable) Complete(block uint64, at sim.Time) *MSHR {
+	for i, m := range t.entries {
+		if m.Block == block {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			for _, w := range m.Waiters {
+				w(at)
+			}
+			return m
+		}
+	}
+	panic(fmt.Sprintf("cache: MSHR complete for unknown block %#x", block))
+}

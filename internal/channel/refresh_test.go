@@ -1,0 +1,71 @@
+package channel
+
+import (
+	"testing"
+
+	"memsim/internal/addrmap"
+	"memsim/internal/dram"
+	"memsim/internal/sim"
+)
+
+func refreshChannel(t *testing.T, interval, dur sim.Time) (*Channel, addrmap.Mapper) {
+	t.Helper()
+	g := addrmap.Geometry{Channels: 1, DevicesPerChannel: 1}
+	ch, err := New(Config{
+		Geometry: g, Timing: dram.Part800x40,
+		RefreshInterval: interval, RefreshDuration: dur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := addrmap.NewBase(g)
+	return ch, m
+}
+
+func TestRefreshInjectsOnSchedule(t *testing.T) {
+	ch, m := refreshChannel(t, sim.Microsecond, 70*sim.Nanosecond)
+	// An access well past several intervals applies the elapsed
+	// refreshes lazily.
+	ch.Access(3500*sim.Nanosecond, addrmap.Spans(m, 0, 16), Demand, false)
+	if got := ch.Stats().Refreshes; got != 3 {
+		t.Fatalf("refreshes = %d, want 3 by t=3.5us", got)
+	}
+}
+
+func TestRefreshDelaysAccess(t *testing.T) {
+	with, m := refreshChannel(t, sim.Microsecond, 70*sim.Nanosecond)
+	without, _ := refreshChannel(t, 0, 0)
+	at := 1001 * sim.Nanosecond // just after the first refresh begins
+	rw := with.Access(at, addrmap.Spans(m, 0, 16), Demand, false)
+	ro := without.Access(at, addrmap.Spans(m, 0, 16), Demand, false)
+	if rw.FirstData <= ro.FirstData {
+		t.Fatalf("refresh did not delay access: %v vs %v", rw.FirstData, ro.FirstData)
+	}
+}
+
+func TestRefreshPrechargesBanks(t *testing.T) {
+	ch, m := refreshChannel(t, sim.Microsecond, 70*sim.Nanosecond)
+	// Open bank 0's row, then let its round-robin refresh pass.
+	ch.Access(0, addrmap.Spans(m, 0, 16), Demand, false)
+	if !ch.RowOpen(m.Map(0)) {
+		t.Fatal("row not open after access")
+	}
+	// Refresh 1 targets bank 0 (round-robin start).
+	ch.Access(1500*sim.Nanosecond, addrmap.Spans(m, 1<<21, 16), Demand, false)
+	if ch.RowOpen(m.Map(0)) {
+		t.Fatal("bank 0 row still open after its refresh")
+	}
+}
+
+func TestNoRefreshByDefault(t *testing.T) {
+	g := addrmap.Geometry{Channels: 1, DevicesPerChannel: 1}
+	ch, err := New(Config{Geometry: g, Timing: dram.Part800x40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := addrmap.NewBase(g)
+	ch.Access(sim.Second, addrmap.Spans(m, 0, 16), Demand, false)
+	if ch.Stats().Refreshes != 0 {
+		t.Fatal("refreshes injected with modeling disabled")
+	}
+}

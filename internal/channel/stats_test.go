@@ -1,0 +1,47 @@
+package channel
+
+import (
+	"testing"
+
+	"memsim/internal/sim"
+)
+
+func TestStatsAddAndDelta(t *testing.T) {
+	a := Stats{
+		RowPackets: 3, ColPackets: 5, DataPackets: 5,
+		RowBusy: 30 * sim.Nanosecond, ColBusy: 50 * sim.Nanosecond, DataBusy: 50 * sim.Nanosecond,
+		NeighborPrecharges: 1, RowMissPrecharges: 2, Refreshes: 1,
+	}
+	a.Accesses[Demand] = 4
+	a.RowHits[Demand] = 2
+
+	b := a // identical second group
+	sum := a.Add(b)
+	if sum.RowPackets != 6 || sum.DataBusy != 100*sim.Nanosecond || sum.Accesses[Demand] != 8 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	if got := sum.HitRate(Demand); got != 0.5 {
+		t.Fatalf("summed hit rate = %v", got)
+	}
+
+	d := sum.Delta(a)
+	if d != b {
+		t.Fatalf("Delta = %+v, want %+v", d, b)
+	}
+}
+
+func TestUtilizationZeroElapsed(t *testing.T) {
+	var s Stats
+	if s.CommandUtilization(0) != 0 || s.DataUtilization(0) != 0 {
+		t.Fatal("zero elapsed must give zero utilization")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Demand.String() != "demand" || Writeback.String() != "writeback" || Prefetch.String() != "prefetch" {
+		t.Fatal("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class has empty name")
+	}
+}

@@ -1,0 +1,210 @@
+// Package core assembles the complete simulated system of the paper:
+// a trace-driven out-of-order core, split L1, a large on-chip L2, the
+// integrated memory controller with the scheduled region prefetch
+// engine, and a multi-channel Direct Rambus memory system.
+package core
+
+import (
+	"fmt"
+
+	"memsim/internal/cache"
+	"memsim/internal/dram"
+	"memsim/internal/prefetch"
+)
+
+// PrefetchConfig enables and tunes the prefetch engine.
+type PrefetchConfig struct {
+	// Enabled turns prefetching on.
+	Enabled bool
+	// Scheme selects the address-generation scheme: "region" (the
+	// paper's contribution, default), "sequential" (Smith-style
+	// next-N-blocks), or "stream" (stride-directed stream buffers in
+	// the style of the Section 5 related work). All schemes sit behind
+	// the same scheduling and insertion machinery.
+	Scheme string
+	// Lookahead is the prefetch depth in blocks for the sequential and
+	// stream schemes.
+	Lookahead int
+	// TableSize is the stream scheme's stream-table size.
+	TableSize int
+	// RegionBytes is the prefetch region size (4KB in the tuned system).
+	RegionBytes int
+	// QueueDepth is the number of region entries.
+	QueueDepth int
+	// Policy selects FIFO or LIFO region prioritization.
+	Policy prefetch.Policy
+	// BankAware prioritizes regions mapping to open DRAM rows.
+	BankAware bool
+	// Scheduled issues prefetches only on idle channel cycles; when
+	// false, prefetches enter the demand queue as ordinary requests
+	// (Table 4's "FIFO prefetch" pathology).
+	Scheduled bool
+	// Insert is the L2 replacement priority for prefetched blocks.
+	Insert cache.InsertPos
+	// BufferBlocks, when positive, prefetches into a separate
+	// fully-associative buffer of this many blocks instead of the L2
+	// (the Jouppi-style alternative of Section 5's related work).
+	// Demand misses probe the buffer and promote hits into the L2.
+	BufferBlocks int
+	// ThrottleAccuracy, when positive, suppresses prefetching while
+	// on-line accuracy is below the threshold (Section 4.4's
+	// suggestion).
+	ThrottleAccuracy float64
+	// ThrottleWindow is the accuracy sampling window.
+	ThrottleWindow int
+}
+
+// Config describes one simulated system.
+type Config struct {
+	// ClockHz is the core clock (1.6 GHz base).
+	ClockHz float64
+	// Width is dispatch/retire width; ROBSize the instruction window;
+	// StoreBuffer the bound on unissued retired stores.
+	Width, ROBSize, StoreBuffer int
+	// SustainedIPC bounds average dispatch throughput below Width,
+	// standing in for the ILP limits of real code on a 4-wide core;
+	// zero disables the bound.
+	SustainedIPC float64
+
+	// L1Size/L1Assoc/L1Block shape the L1 data cache; L1HitCycles its
+	// load-to-use latency.
+	L1Size      int64
+	L1Assoc     int
+	L1Block     int
+	L1HitCycles int
+
+	// L2Size/L2Assoc/L2Block shape the on-chip L2; L2HitCycles its
+	// access latency. MSHRs bounds outstanding demand misses.
+	L2Size      int64
+	L2Assoc     int
+	L2Block     int
+	L2HitCycles int
+	MSHRs       int
+
+	// Channels and DevicesPerChannel shape the Rambus system; Mapping
+	// selects the address mapping ("base", "swap", "xor"); Timing the
+	// DRDRAM part; ClosedPage the row-buffer policy.
+	Channels          int
+	DevicesPerChannel int
+	Mapping           string
+	Timing            dram.Timing
+	ClosedPage        bool
+	// Interleaving organizes the physical channels: "ganged" (default,
+	// empty) simply interleaves them into one wide logical channel as
+	// in the paper; "independent" gives each channel its own controller
+	// with whole blocks striped across channels (the Section 6
+	// "complex interleaving" direction).
+	Interleaving string
+	// ReorderWindow enables the Section 6 extension: the controller
+	// may issue a queued demand miss or writeback whose DRAM row is
+	// open ahead of up to ReorderWindow-1 older entries. Zero keeps
+	// the paper's strict in-order issue.
+	ReorderWindow int
+	// Refresh enables DRAM refresh modeling: periodically the channel
+	// is consumed by a refresh operation (disabled by default; the
+	// paper does not model refresh).
+	Refresh bool
+
+	// Prefetch configures the region prefetch engine.
+	Prefetch PrefetchConfig
+
+	// PerfectL2 makes every L2 access hit; PerfectMem makes every L1
+	// access hit (Figure 1's upper bounds).
+	PerfectL2, PerfectMem bool
+
+	// MaxInstrs is the per-run measured instruction budget.
+	MaxInstrs uint64
+	// WarmupInstrs run before measurement begins: caches, row buffers,
+	// and the prefetch queue reach steady state, and all statistics are
+	// then reset. (The paper verified cold-start insignificance over
+	// 200M-instruction samples; our shorter synthetic samples need the
+	// explicit warmup.)
+	WarmupInstrs uint64
+
+	// SoftwarePrefetch enables execution of software prefetch
+	// instructions; when false the simulator discards them as fetched,
+	// matching the paper's main experiments (Section 4.7).
+	SoftwarePrefetch bool
+}
+
+// Base returns the paper's base configuration (Section 3.1): a 1.6 GHz
+// 4-wide core with a 64-entry window, 64KB 2-way L1 with 8 MSHRs, a
+// 1MB 4-way 12-cycle L2 with 64-byte blocks, and four DRDRAM channels
+// of 800-40 parts (256MB total) under the straightforward address
+// mapping.
+func Base() Config {
+	return Config{
+		ClockHz: 1.6e9,
+		Width:   4, ROBSize: 64, StoreBuffer: 64, SustainedIPC: 2.0,
+		L1Size: 64 << 10, L1Assoc: 2, L1Block: 64, L1HitCycles: 3,
+		L2Size: 1 << 20, L2Assoc: 4, L2Block: 64, L2HitCycles: 12, MSHRs: 8,
+		Channels: 4, DevicesPerChannel: 2,
+		Mapping: "base", Timing: dram.Part800x40,
+		MaxInstrs: 1_000_000,
+	}
+}
+
+// Tuned returns the paper's best configuration: the base system with
+// the XOR mapping and tuned scheduled region prefetching (LIFO, 4KB
+// regions, bank-aware, LRU insertion).
+func Tuned() Config {
+	cfg := Base()
+	cfg.Mapping = "xor"
+	cfg.Prefetch = TunedPrefetch()
+	return cfg
+}
+
+// TunedPrefetch returns the Section 4 tuned prefetch configuration.
+func TunedPrefetch() PrefetchConfig {
+	return PrefetchConfig{
+		Enabled:     true,
+		RegionBytes: 4096,
+		QueueDepth:  8,
+		Policy:      prefetch.LIFO,
+		BankAware:   true,
+		Scheduled:   true,
+		Insert:      cache.LRU,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("core: clock %v invalid", c.ClockHz)
+	}
+	if c.L1Block <= 0 || c.L2Block < c.L1Block {
+		return fmt.Errorf("core: L2 block %d must be >= L1 block %d", c.L2Block, c.L1Block)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("core: MSHRs %d invalid", c.MSHRs)
+	}
+	if c.L1HitCycles < 0 || c.L2HitCycles <= 0 {
+		return fmt.Errorf("core: hit latencies invalid")
+	}
+	if c.PerfectL2 && c.PerfectMem {
+		return fmt.Errorf("core: PerfectL2 and PerfectMem are mutually exclusive")
+	}
+	switch c.Interleaving {
+	case "", "ganged", "independent":
+	default:
+		return fmt.Errorf("core: unknown interleaving %q", c.Interleaving)
+	}
+	if c.Prefetch.Enabled {
+		switch c.Prefetch.Scheme {
+		case "", "region":
+			if c.Prefetch.RegionBytes < c.L2Block {
+				return fmt.Errorf("core: prefetch region %d smaller than L2 block %d", c.Prefetch.RegionBytes, c.L2Block)
+			}
+			if c.Prefetch.QueueDepth <= 0 {
+				return fmt.Errorf("core: prefetch queue depth %d invalid", c.Prefetch.QueueDepth)
+			}
+		case "sequential", "stream":
+			if c.Prefetch.Lookahead <= 0 {
+				return fmt.Errorf("core: %s prefetch lookahead %d invalid", c.Prefetch.Scheme, c.Prefetch.Lookahead)
+			}
+		default:
+			return fmt.Errorf("core: unknown prefetch scheme %q", c.Prefetch.Scheme)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"fmt"
+
+	"memsim/internal/addrmap"
+	"memsim/internal/cache"
+	"memsim/internal/channel"
+	"memsim/internal/cpu"
+	"memsim/internal/memctrl"
+	"memsim/internal/prefetch"
+	"memsim/internal/sim"
+	"memsim/internal/trace"
+)
+
+// System is one fully wired simulated machine. Build with New, run
+// once with Run.
+//
+// Under the paper's "ganged" organization the physical channels form a
+// single logical channel with one controller (index 0). Under the
+// "independent" organization each physical channel has its own
+// controller and whole cache blocks stripe across channels, so
+// concurrent misses to different channels proceed in parallel — the
+// "complex interleaving of the multiple channels" the paper leaves as
+// future work (Section 6).
+type System struct {
+	cfg   Config
+	clock sim.Clock
+	sched *sim.Scheduler
+
+	core  *cpu.CPU
+	l1    *cache.Cache
+	l2    *cache.Cache
+	ctrls []*memctrl.Controller
+	chns  []*channel.Channel
+	maprs []addrmap.Mapper
+	pf    prefetch.Prefetcher // nil when disabled
+	// pfbuffer receives prefetch fills when the separate-buffer
+	// alternative is configured; nil otherwise.
+	pfbuffer *cache.Cache
+
+	// pfBuf holds prefetch candidates routed to a controller that was
+	// not the one asking (independent interleaving only).
+	pfBuf [][]uint64
+
+	mshrs    *cache.MSHRTable
+	inflight map[uint64]*pfFill // prefetch fills in flight, by L2 block
+
+	capacity uint64
+
+	// System-level statistics.
+	lateMerges      uint64 // demand misses merged into in-flight prefetches
+	swPrefetches    uint64 // software prefetch fills requested
+	prefetchSkipped uint64 // prefetch candidates dropped (resident or in flight)
+
+	// baseline captures all statistics at the warmup boundary.
+	baseline struct {
+		taken           bool
+		at              sim.Time
+		retired         uint64
+		l1, l2          cache.Stats
+		buffer          cache.Stats
+		chn             []channel.Stats
+		ctrl            []memctrl.Stats
+		pf              prefetch.Stats
+		lateMerges      uint64
+		swPrefetches    uint64
+		prefetchSkipped uint64
+	}
+}
+
+// pfFill tracks one in-flight prefetch so demand misses can merge.
+type pfFill struct {
+	demand  bool // a demand miss merged into this fill
+	waiters []func(sim.Time)
+}
+
+// New builds a system over the given instruction stream.
+func New(cfg Config, gen trace.Generator) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Ganged: one controller over an n-wide logical channel.
+	// Independent: n controllers over 1-wide channels.
+	groups := 1
+	groupGeom := addrmap.Geometry{Channels: cfg.Channels, DevicesPerChannel: cfg.DevicesPerChannel}
+	if cfg.Interleaving == "independent" {
+		groups = cfg.Channels
+		groupGeom = addrmap.Geometry{Channels: 1, DevicesPerChannel: cfg.DevicesPerChannel}
+	}
+
+	l1, err := cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1Size, Assoc: cfg.L1Assoc, BlockBytes: cfg.L1Block})
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2Size, Assoc: cfg.L2Assoc, BlockBytes: cfg.L2Block})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:      cfg,
+		clock:    sim.NewClock(cfg.ClockHz),
+		sched:    sim.NewScheduler(),
+		l1:       l1,
+		l2:       l2,
+		mshrs:    cache.NewMSHRTable(cfg.MSHRs),
+		inflight: make(map[uint64]*pfFill),
+		capacity: groupGeom.Capacity() * uint64(groups),
+		pfBuf:    make([][]uint64, groups),
+	}
+
+	chCfg := channel.Config{Geometry: groupGeom, Timing: cfg.Timing, ClosedPage: cfg.ClosedPage}
+	if cfg.Refresh {
+		// One refresh per ~2us retires all 16K rows of a device within
+		// a 32ms retention period; each costs roughly a row cycle.
+		chCfg.RefreshInterval = 2 * sim.Microsecond
+		chCfg.RefreshDuration = 70 * sim.Nanosecond
+	}
+	for g := 0; g < groups; g++ {
+		mapr, err := addrmap.ByName(cfg.Mapping, groupGeom)
+		if err != nil {
+			return nil, err
+		}
+		chn, err := channel.New(chCfg)
+		if err != nil {
+			return nil, err
+		}
+		ctrl := memctrl.New(s.sched, chn, mapr)
+		if cfg.ReorderWindow > 0 {
+			ctrl.SetReorderWindow(cfg.ReorderWindow)
+		}
+		s.maprs = append(s.maprs, mapr)
+		s.chns = append(s.chns, chn)
+		s.ctrls = append(s.ctrls, ctrl)
+	}
+
+	if cfg.Prefetch.Enabled {
+		switch cfg.Prefetch.Scheme {
+		case "", "region":
+			s.pf, err = prefetch.New(prefetch.Config{
+				RegionBytes:      cfg.Prefetch.RegionBytes,
+				BlockBytes:       cfg.L2Block,
+				QueueDepth:       cfg.Prefetch.QueueDepth,
+				Policy:           cfg.Prefetch.Policy,
+				BankAware:        cfg.Prefetch.BankAware,
+				ThrottleAccuracy: cfg.Prefetch.ThrottleAccuracy,
+				ThrottleWindow:   cfg.Prefetch.ThrottleWindow,
+			})
+		case "sequential":
+			s.pf, err = prefetch.NewSequential(cfg.L2Block, cfg.Prefetch.Lookahead, 8*cfg.Prefetch.Lookahead)
+		case "stream":
+			table := cfg.Prefetch.TableSize
+			if table <= 0 {
+				table = 8
+			}
+			s.pf, err = prefetch.NewStream(cfg.L2Block, table, cfg.Prefetch.Lookahead)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Prefetch.Scheduled {
+			for g := range s.ctrls {
+				s.ctrls[g].SetPrefetchSource(&prefetchSource{sys: s, group: g})
+			}
+		}
+		// First demand reference of a prefetched block counts as a
+		// prefetch success for the accuracy throttle.
+		s.l2.PrefetchUsedHook = func() { s.pf.RecordSettled(true) }
+
+		if n := cfg.Prefetch.BufferBlocks; n > 0 {
+			s.pfbuffer, err = cache.New(cache.Config{
+				Name:       "pfbuffer",
+				SizeBytes:  int64(n * cfg.L2Block),
+				Assoc:      n, // fully associative
+				BlockBytes: cfg.L2Block,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	s.core, err = cpu.New(s.sched, (*hierarchy)(s), gen, cpu.Config{
+		Width:        cfg.Width,
+		SustainedIPC: cfg.SustainedIPC,
+		ROBSize:      cfg.ROBSize,
+		StoreBuffer:  cfg.StoreBuffer,
+		Clock:        s.clock,
+		MaxInstrs:    cfg.WarmupInstrs + cfg.MaxInstrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WarmupInstrs > 0 {
+		s.core.Milestone = cfg.WarmupInstrs
+		s.core.OnMilestone = s.snapshotBaseline
+	}
+	return s, nil
+}
+
+// group routes a physical address to its controller: always 0 when
+// ganged, the block-stripe index when independent.
+func (s *System) group(addr uint64) int {
+	if len(s.ctrls) == 1 {
+		return 0
+	}
+	return int(addr / uint64(s.cfg.L2Block) % uint64(len(s.ctrls)))
+}
+
+// localAddr compacts a global physical address into its channel
+// group's private address space (identity when ganged).
+func (s *System) localAddr(addr uint64) uint64 {
+	n := uint64(len(s.ctrls))
+	if n == 1 {
+		return addr
+	}
+	bs := uint64(s.cfg.L2Block)
+	return addr/bs/n*bs + addr%bs
+}
+
+// submit routes a request built on global addresses to its controller,
+// translating the address into the group-local space.
+func (s *System) submit(r *memctrl.Request) {
+	g := s.group(r.Addr)
+	r.Addr = s.localAddr(r.Addr)
+	s.ctrls[g].Submit(r)
+}
+
+// rowOpenGlobal reports whether the block's row is open in its group.
+func (s *System) rowOpenGlobal(block uint64) bool {
+	g := s.group(block)
+	return s.chns[g].RowOpen(s.maprs[g].Map(s.localAddr(block)))
+}
+
+// snapshotBaseline records all counters at the warmup boundary so the
+// result reports steady-state behaviour only.
+func (s *System) snapshotBaseline() {
+	b := &s.baseline
+	b.taken = true
+	b.at = s.sched.Now()
+	b.retired = s.core.Stats().Retired
+	b.l1 = s.l1.Stats()
+	b.l2 = s.l2.Stats()
+	if s.pfbuffer != nil {
+		b.buffer = s.pfbuffer.Stats()
+	}
+	b.chn = b.chn[:0]
+	b.ctrl = b.ctrl[:0]
+	for g := range s.ctrls {
+		b.chn = append(b.chn, s.chns[g].Stats())
+		b.ctrl = append(b.ctrl, s.ctrls[g].Stats())
+	}
+	if s.pf != nil {
+		b.pf = s.pf.Stats()
+	}
+	b.lateMerges = s.lateMerges
+	b.swPrefetches = s.swPrefetches
+	b.prefetchSkipped = s.prefetchSkipped
+}
+
+// Run executes the workload to completion and returns the collected
+// results.
+func (s *System) Run() (Result, error) {
+	s.sched.RunWhile(func() bool { return !s.core.Done() })
+	if !s.core.Done() {
+		return Result{}, fmt.Errorf("core: simulation deadlocked at %v with %d events fired",
+			s.sched.Now(), s.sched.EventsFired())
+	}
+	return s.result(), nil
+}
+
+// hierarchy adapts the System into the core's Memory interface.
+type hierarchy System
+
+// Access implements cpu.Memory.
+func (h *hierarchy) Access(addr uint64, kind trace.Kind, complete func(sim.Time)) cpu.Reply {
+	s := (*System)(h)
+	addr %= s.capacity
+	now := s.sched.Now()
+
+	if kind == trace.SWPrefetch {
+		return s.softwarePrefetch(addr)
+	}
+
+	if s.cfg.PerfectMem {
+		return cpu.Reply{Accepted: true, Done: true, At: now + s.clock.Cycles(int64(s.cfg.L1HitCycles))}
+	}
+
+	write := kind == trace.Store
+	if s.l1.Access(addr, write) {
+		return cpu.Reply{Accepted: true, Done: true, At: now + s.clock.Cycles(int64(s.cfg.L1HitCycles))}
+	}
+
+	// L1 miss; the L2 lookup costs its access latency.
+	l2At := now + s.clock.Cycles(int64(s.cfg.L2HitCycles))
+	if s.cfg.PerfectL2 {
+		s.fillL1(addr, write)
+		return cpu.Reply{Accepted: true, Done: true, At: l2At}
+	}
+	if s.l2.Access(addr, write) {
+		s.fillL1(addr, write)
+		return cpu.Reply{Accepted: true, Done: true, At: l2At}
+	}
+
+	// L2 demand miss.
+	block := s.l2.BlockAddr(addr)
+
+	// Probe the separate prefetch buffer (when configured): a hit
+	// promotes the block into the L2 and costs only the lookup.
+	if s.pfbuffer != nil && s.pfbuffer.Access(block, false) {
+		s.pfbuffer.Invalidate(block)
+		s.installL2(block, write, false)
+		s.fillL1(addr, write)
+		if s.pf != nil {
+			s.pf.RecordSettled(true)
+		}
+		return cpu.Reply{Accepted: true, Done: true, At: l2At + s.clock.Cycles(2)}
+	}
+
+	// Merge into an in-flight prefetch: the "late prefetch" case.
+	if fill, ok := s.inflight[block]; ok {
+		fill.demand = true
+		s.lateMerges++
+		s.notifyPrefetcher(addr)
+		if complete != nil {
+			w := s.fillWaiter(addr, write, complete)
+			fill.waiters = append(fill.waiters, w)
+		} else {
+			fill.waiters = append(fill.waiters, func(sim.Time) { s.fillL1(addr, write) })
+		}
+		return cpu.Reply{Accepted: true}
+	}
+
+	// Merge into an outstanding demand miss.
+	if m, ok := s.mshrs.Lookup(block); ok {
+		if complete != nil {
+			m.Waiters = append(m.Waiters, s.fillWaiter(addr, write, complete))
+		} else {
+			m.Waiters = append(m.Waiters, func(sim.Time) { s.fillL1(addr, write) })
+		}
+		return cpu.Reply{Accepted: true}
+	}
+
+	if s.mshrs.Full() {
+		return cpu.Reply{} // rejected; the core retries after Wake
+	}
+
+	m := s.mshrs.Allocate(block, false)
+	if complete != nil {
+		m.Waiters = append(m.Waiters, s.fillWaiter(addr, write, complete))
+	} else {
+		m.Waiters = append(m.Waiters, func(sim.Time) { s.fillL1(addr, write) })
+	}
+
+	s.notifyPrefetcher(addr)
+
+	s.submit(&memctrl.Request{
+		Addr:  block,
+		Size:  uint64(s.cfg.L2Block),
+		Class: channel.Demand,
+		OnFirstData: func(at sim.Time) {
+			// Critical word: release the waiting loads registered so
+			// far; later merges complete at full-line install.
+			ws := m.Waiters
+			m.Waiters = nil
+			for _, w := range ws {
+				w(at)
+			}
+		},
+		OnComplete: func(at sim.Time) {
+			s.installL2(block, write, false)
+			s.mshrs.Complete(block, at)
+			s.core.Wake()
+		},
+	})
+	return cpu.Reply{Accepted: true}
+}
+
+// fillWaiter builds the completion action for a demand miss: fill the
+// L1 and release the load.
+func (s *System) fillWaiter(addr uint64, write bool, complete func(sim.Time)) func(sim.Time) {
+	return func(at sim.Time) {
+		s.fillL1(addr, write)
+		complete(at)
+	}
+}
+
+// fillL1 installs the block containing addr into the L1, absorbing the
+// victim writeback into the L2.
+func (s *System) fillL1(addr uint64, write bool) {
+	v := s.l1.Insert(addr, cache.MRU, write, false)
+	if v.Valid && v.Dirty && !s.cfg.PerfectMem && !s.cfg.PerfectL2 {
+		if !s.l2.MarkDirty(v.Addr) {
+			// The line left the L2 already (non-inclusive corner):
+			// write it back to memory directly.
+			s.submit(&memctrl.Request{
+				Addr:  v.Addr,
+				Size:  uint64(s.cfg.L1Block),
+				Class: channel.Writeback,
+				Write: true,
+			})
+		}
+	}
+}
+
+// installL2 places a returned block into the L2 and schedules the
+// victim's writeback. Evicted unreferenced prefetches feed the
+// accuracy throttle as failures. Prefetched blocks divert to the
+// separate buffer when one is configured.
+func (s *System) installL2(block uint64, dirty, prefetched bool) {
+	if prefetched && s.pfbuffer != nil {
+		v := s.pfbuffer.Insert(block, cache.MRU, false, true)
+		if v.Valid && s.pf != nil {
+			// Pushed out of the buffer unreferenced: a wasted prefetch.
+			s.pf.RecordSettled(false)
+		}
+		return
+	}
+	pos := cache.MRU
+	if prefetched {
+		pos = s.cfg.Prefetch.Insert
+	}
+	v := s.l2.Insert(block, pos, dirty, prefetched)
+	if !v.Valid {
+		return
+	}
+	if v.Prefetched && s.pf != nil {
+		s.pf.RecordSettled(false)
+	}
+	if v.Dirty {
+		s.submit(&memctrl.Request{
+			Addr:  v.Addr,
+			Size:  uint64(s.cfg.L2Block),
+			Class: channel.Writeback,
+			Write: true,
+		})
+	}
+}
+
+// notifyPrefetcher reports a demand miss to the prefetch engine.
+//
+// The paper's region entries mark blocks already in the cache at
+// creation; we defer that residency check to issue time (see
+// makePrefetchRequest), which is behaviourally equivalent — resident
+// blocks are never transferred — and avoids scanning every block of
+// every region on the demand-miss path.
+func (s *System) notifyPrefetcher(addr uint64) {
+	if s.pf == nil {
+		return
+	}
+	s.pf.OnDemandMiss(addr, nil)
+	if s.cfg.Prefetch.Scheduled {
+		for _, c := range s.ctrls {
+			c.Kick()
+		}
+	} else {
+		// Unscheduled prefetching: every region prefetch issues
+		// immediately as an ordinary request (Table 4, "FIFO
+		// prefetch").
+		for {
+			block, ok := s.pf.Next(nil)
+			if !ok {
+				break
+			}
+			if r, live := s.makePrefetchRequest(block); live {
+				s.ctrls[s.group(block)].Submit(r)
+			}
+		}
+	}
+}
+
+// makePrefetchRequest builds the transfer for one prefetch block,
+// registering it in flight; the request address is already translated
+// to the owning group's local space. ok is false when the block is
+// resident or being fetched.
+func (s *System) makePrefetchRequest(block uint64) (*memctrl.Request, bool) {
+	// Engines may generate out-of-range candidates (e.g. a stream
+	// running past the workload footprint); wrap like every other
+	// physical address.
+	block = s.l2.BlockAddr(block % s.capacity)
+	if s.l2.Contains(block) {
+		s.prefetchSkipped++
+		return nil, false
+	}
+	if s.pfbuffer != nil && s.pfbuffer.Contains(block) {
+		s.prefetchSkipped++
+		return nil, false
+	}
+	if _, busy := s.inflight[block]; busy {
+		s.prefetchSkipped++
+		return nil, false
+	}
+	if _, busy := s.mshrs.Lookup(block); busy {
+		s.prefetchSkipped++
+		return nil, false
+	}
+	fill := &pfFill{}
+	s.inflight[block] = fill
+	return &memctrl.Request{
+		Addr:  s.localAddr(block),
+		Size:  uint64(s.cfg.L2Block),
+		Class: channel.Prefetch,
+		OnComplete: func(at sim.Time) {
+			delete(s.inflight, block)
+			s.installL2(block, false, !fill.demand)
+			if fill.demand && s.pf != nil {
+				// A late prefetch the demand stream caught up with:
+				// count it as used.
+				s.pf.RecordSettled(true)
+			}
+			for _, w := range fill.waiters {
+				w(at)
+			}
+			s.core.Wake()
+		},
+	}, true
+}
+
+// softwarePrefetch handles a software prefetch instruction: a
+// non-binding fill request into the L2.
+func (s *System) softwarePrefetch(addr uint64) cpu.Reply {
+	done := cpu.Reply{Accepted: true, Done: true, At: s.sched.Now() + s.clock.Period()}
+	if s.cfg.PerfectMem || s.cfg.PerfectL2 || !s.cfg.SoftwarePrefetch {
+		return done
+	}
+	addr %= s.capacity
+	block := s.l2.BlockAddr(addr)
+	if s.l1.Contains(addr) || s.l2.Contains(addr) {
+		return done
+	}
+	if _, ok := s.inflight[block]; ok {
+		return done
+	}
+	if _, ok := s.mshrs.Lookup(block); ok {
+		return done
+	}
+	if s.mshrs.Full() {
+		return cpu.Reply{} // dropped by the core
+	}
+	s.swPrefetches++
+	s.mshrs.Allocate(block, true)
+	s.submit(&memctrl.Request{
+		Addr:  block,
+		Size:  uint64(s.cfg.L2Block),
+		Class: channel.Demand, // software prefetches compete like loads
+		OnComplete: func(at sim.Time) {
+			s.installL2(block, false, true)
+			s.mshrs.Complete(block, at)
+			s.core.Wake()
+		},
+	})
+	return done
+}
+
+// prefetchSource adapts the prefetch engine to one controller's pull
+// interface. Under independent interleaving, candidates belonging to
+// other groups are buffered for their own controllers.
+type prefetchSource struct {
+	sys   *System
+	group int
+}
+
+// maxRoutePull bounds how many foreign-group candidates one pull may
+// shuffle before giving up the idle slot.
+const maxRoutePull = 16
+
+// NextPrefetch implements memctrl.PrefetchSource.
+func (p *prefetchSource) NextPrefetch(now sim.Time) (*memctrl.Request, bool) {
+	s := p.sys
+
+	// Buffered candidates routed here earlier take priority.
+	for len(s.pfBuf[p.group]) > 0 {
+		block := s.pfBuf[p.group][0]
+		s.pfBuf[p.group] = s.pfBuf[p.group][1:]
+		if r, live := s.makePrefetchRequest(block); live {
+			return r, true
+		}
+	}
+
+	for i := 0; i < maxRoutePull; i++ {
+		block, ok := s.pf.Next(s.rowOpenGlobal)
+		if !ok {
+			return nil, false
+		}
+		g := s.group(block)
+		if g != p.group {
+			// Route to the owning controller and keep looking.
+			s.pfBuf[g] = append(s.pfBuf[g], block)
+			s.ctrls[g].Kick()
+			continue
+		}
+		if r, live := s.makePrefetchRequest(block); live {
+			return r, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRunner keeps test runtime low: three representative benchmarks
+// (a streaming winner, a bandwidth-bound chaser, a resident workload)
+// at a reduced budget.
+func tinyRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(Options{
+		Instrs:     60_000,
+		Warmup:     120_000,
+		Benchmarks: []string{"swim", "mcf", "gzip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Options{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewRunner(Options{Instrs: 1, Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	r, err := NewRunner(Options{Instrs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks()) != 26 {
+		t.Errorf("default suite = %d benchmarks, want 26", len(r.Benchmarks()))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("fig5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID(nope) did not error")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Rows are ordered by L2 stall fraction; mcf must lead.
+	if res.Rows[0].Bench != "mcf" {
+		t.Errorf("highest L2 stall = %s, want mcf", res.Rows[0].Bench)
+	}
+	for _, row := range res.Rows {
+		if !(row.Real <= row.PerfectL2+1e-9 && row.PerfectL2 <= row.PerfectMem+1e-9) {
+			t.Errorf("%s: IPC ordering broken: %+v", row.Bench, row)
+		}
+	}
+	if res.Compute <= 0 || res.Compute > 1 {
+		t.Errorf("compute fraction = %v", res.Compute)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mcf") {
+		t.Error("rendered output missing benchmark rows")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base, unsched, schedFIFO, schedLIFO := res.Rows[0], res.Rows[1], res.Rows[2], res.Rows[3]
+	if base.NormIPC != 1.0 {
+		t.Errorf("base normalized IPC = %v", base.NormIPC)
+	}
+	// The paper's central contrast: unscheduled prefetching blows up
+	// miss latency; scheduling recovers it.
+	if unsched.MissLatency < 1.5*base.MissLatency {
+		t.Errorf("unscheduled latency %v not clearly above base %v", unsched.MissLatency, base.MissLatency)
+	}
+	if schedFIFO.MissLatency > unsched.MissLatency {
+		t.Errorf("scheduled FIFO latency %v above unscheduled %v", schedFIFO.MissLatency, unsched.MissLatency)
+	}
+	// Prefetching reduces the miss rate under every scheme.
+	for _, row := range res.Rows[1:] {
+		if row.MissRate >= base.MissRate {
+			t.Errorf("%s: miss rate %v not below base %v", row.Scheme, row.MissRate, base.MissRate)
+		}
+	}
+	if schedLIFO.NormIPC < schedFIFO.NormIPC*0.98 {
+		t.Errorf("LIFO %v clearly worse than FIFO %v", schedLIFO.NormIPC, schedFIFO.NormIPC)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrMapShape(t *testing.T) {
+	r, err := NewRunner(Options{
+		Instrs: 100_000, Warmup: 400_000,
+		Benchmarks: []string{"applu", "swim", "facerec"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.AddrMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, xor AddrMapRow
+	for _, row := range res.Rows {
+		switch row.Mapping {
+		case "base":
+			base = row
+		case "xor":
+			xor = row
+		}
+	}
+	// The small test budget may finish before the L2 produces
+	// writebacks, so assert on the read hit rate, which always has
+	// traffic.
+	if xor.ReadHit <= base.ReadHit {
+		t.Errorf("XOR read hit %v not above base %v", xor.ReadHit, base.ReadHit)
+	}
+	if res.XORSpeedup < 1.0 {
+		t.Errorf("XOR speedup = %v, want >= 1", res.XORSpeedup)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionSizeShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.RegionSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != len(RegionSizes) {
+		t.Fatalf("sweep lengths differ")
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Errorf("region %d: IPC = %v", RegionSizes[i], ipc)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllDeterministic(t *testing.T) {
+	r := tinyRunner(t)
+	a, err := r.Util()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Util()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("non-deterministic utilization row %d: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSchemesShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Schemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	if res.Rows[0].Scheme != "none" || res.Rows[0].Speedup != 1.0 {
+		t.Fatalf("baseline row = %+v", res.Rows[0])
+	}
+	// Region prefetching must beat no prefetching on the winner set
+	// (swim is in the tiny suite).
+	region := res.Rows[3]
+	if region.WinnerSpeedup <= 1.0 {
+		t.Fatalf("region winner speedup = %v, want > 1", region.WinnerSpeedup)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Reorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	inorder, reorder := res.Rows[0], res.Rows[1]
+	if reorder.Reordered == 0 {
+		t.Fatal("reordering never engaged (mcf should queue demands)")
+	}
+	if reorder.ReadHit < inorder.ReadHit {
+		t.Fatalf("reordering lowered the row-hit rate: %v -> %v", inorder.ReadHit, reorder.ReadHit)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refreshes == 0 {
+		t.Fatal("no refreshes injected")
+	}
+	if res.RefreshIPC > res.BaseIPC {
+		t.Fatalf("refresh sped up the suite: %v -> %v", res.BaseIPC, res.RefreshIPC)
+	}
+	// Refresh is a second-order effect: under 5% on the mean.
+	if res.RefreshIPC < 0.95*res.BaseIPC {
+		t.Fatalf("refresh cost over 5%%: %v -> %v", res.BaseIPC, res.RefreshIPC)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Interleave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MeanIPC <= 0 {
+			t.Fatalf("%s: IPC = %v", row.Name, row.MeanIPC)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

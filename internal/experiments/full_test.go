@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestFullAddrMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	r, err := NewRunner(Options{Instrs: 300_000, Warmup: 1_500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.AddrMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Write(os.Stdout)
+}

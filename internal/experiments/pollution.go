@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"memsim/internal/cache"
+	"memsim/internal/core"
+	"memsim/internal/stats"
+)
+
+// PollutionRow is one pollution-control mechanism.
+type PollutionRow struct {
+	Name    string
+	MeanIPC float64
+	// LowAccIPC restricts to the low-accuracy benchmarks, where
+	// pollution control matters most.
+	LowAccIPC float64
+}
+
+// PollutionResult compares the paper's replacement-priority insertion
+// against the Section 5 alternative of prefetching into a separate
+// buffer (Jouppi-style): "in a large secondary cache, controlling the
+// replacement priority of prefetched data appears sufficient to limit
+// the displacement of useful referenced data."
+type PollutionResult struct {
+	Rows []PollutionRow
+	// LowAccGroup lists the benchmarks classified as low accuracy.
+	LowAccGroup []string
+}
+
+// Pollution runs the comparison: MRU insertion (no control), LRU
+// insertion (the paper's mechanism), and 32- and 256-block separate
+// buffers.
+func (r *Runner) Pollution() (*PollutionResult, error) {
+	mk := func(mut func(*core.PrefetchConfig)) core.Config {
+		cfg := core.Base()
+		cfg.Mapping = "xor"
+		cfg.Prefetch = core.TunedPrefetch()
+		mut(&cfg.Prefetch)
+		return cfg
+	}
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"MRU insert (none)", mk(func(p *core.PrefetchConfig) { p.Insert = cache.MRU })},
+		{"LRU insert (paper)", mk(func(p *core.PrefetchConfig) {})},
+		{"32-block buffer", mk(func(p *core.PrefetchConfig) { p.BufferBlocks = 32 })},
+		{"256-block buffer", mk(func(p *core.PrefetchConfig) { p.BufferBlocks = 256 })},
+	}
+
+	// Classify low-accuracy benchmarks on the paper's mechanism.
+	lruResults, err := r.perBench(configs[1].cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	low := make(map[int]bool)
+	res := &PollutionResult{}
+	for i, b := range r.opt.Benchmarks {
+		if lruResults[i].PrefetchAccuracy() < accuracyCutoff {
+			low[i] = true
+			res.LowAccGroup = append(res.LowAccGroup, b)
+		}
+	}
+
+	for ci, c := range configs {
+		var results []core.Result
+		if ci == 1 {
+			results = lruResults
+		} else {
+			results, err = r.perBench(c.cfg, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var lowIPC []float64
+		for i := range r.opt.Benchmarks {
+			if low[i] {
+				lowIPC = append(lowIPC, results[i].IPC)
+			}
+		}
+		res.Rows = append(res.Rows, PollutionRow{
+			Name:      c.name,
+			MeanIPC:   stats.HarmonicMean(ipcs(results)),
+			LowAccIPC: harmonicOrZero(lowIPC),
+		})
+	}
+	return res, nil
+}
+
+// Write renders the result as text.
+func (p *PollutionResult) Write(w io.Writer) error {
+	fmt.Fprintln(w, "Section 5 alternative: pollution control mechanisms")
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mechanism\thmean IPC\tlow-accuracy hmean")
+	for _, row := range p.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", row.Name, row.MeanIPC, row.LowAccIPC)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nlow-accuracy group: %v\n", p.LowAccGroup)
+	fmt.Fprintln(w, "paper: \"controlling the replacement priority of prefetched data")
+	fmt.Fprintln(w, "appears sufficient\" — a separate buffer buys little over LRU insertion")
+	return nil
+}

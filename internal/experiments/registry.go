@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment pairs an identifier with a description and a runner that
+// writes the regenerated table or figure as text.
+type Experiment struct {
+	ID    string
+	Paper string // the paper artifact this regenerates
+	Run   func(*Runner, io.Writer) error
+}
+
+// write adapts a typed experiment to the registry signature.
+func write[T interface{ Write(io.Writer) error }](f func(*Runner) (T, error)) func(*Runner, io.Writer) error {
+	return func(r *Runner, w io.Writer) error {
+		res, err := f(r)
+		if err != nil {
+			return err
+		}
+		return res.Write(w)
+	}
+}
+
+// registry lists every reproducible artifact in presentation order.
+var registry = []Experiment{
+	{"fig1", "Figure 1: real vs perfect-L2 vs perfect-memory IPC", write((*Runner).Fig1)},
+	{"table1", "Table 1: pollution and performance points", write((*Runner).Table1)},
+	{"table2", "Table 2: channel width vs performance points", write((*Runner).Table2)},
+	{"addrmap", "Figure 3 / Section 3.4: address mapping study", write((*Runner).AddrMap)},
+	{"table3", "Table 3: prefetch insertion priority", write((*Runner).Table3)},
+	{"table4", "Table 4: prefetch scheme comparison", write((*Runner).Table4)},
+	{"fig5", "Figure 5: tuned scheduled region prefetching", write((*Runner).Fig5)},
+	{"util", "Section 4.4: channel utilization", write((*Runner).Util)},
+	{"cachesize", "Section 4.5: multi-megabyte caches", write((*Runner).CacheSize)},
+	{"latsens", "Section 4.6: DRAM latency sensitivity", write((*Runner).LatSens)},
+	{"swpf", "Section 4.7: software prefetching interaction", write((*Runner).SWPF)},
+	{"regionsize", "Section 4.2 ablation: region size", write((*Runner).RegionSize)},
+	{"queuedepth", "Ablation: prefetch queue depth", write((*Runner).QueueDepth)},
+	{"throttle", "Sections 4.4/6 extension: accuracy throttling", write((*Runner).Throttle)},
+	{"schemes", "Section 5 baselines: sequential/stream/region prefetching", write((*Runner).Schemes)},
+	{"reorder", "Section 6 extension: open-row-first demand reordering", write((*Runner).Reorder)},
+	{"refresh", "Extension: DRAM refresh cost", write((*Runner).Refresh)},
+	{"interleave", "Section 6 extension: channel interleaving organization", write((*Runner).Interleave)},
+	{"pollution", "Section 5 alternative: insertion priority vs separate prefetch buffer", write((*Runner).Pollution)},
+}
+
+// All returns the experiments in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

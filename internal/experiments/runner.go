@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation on the simulated system: block-size and
+// channel-width sweeps (Tables 1-2), address-mapping row-buffer study
+// (Figure 3 / Section 3.4), prefetch insertion-priority and scheduling
+// comparisons (Tables 3-4), the tuned-prefetch performance summary
+// (Figure 5), channel utilization (Section 4.4), cache-size scaling
+// (Section 4.5), DRAM latency sensitivity (Section 4.6), software
+// prefetching interaction (Section 4.7), and ablations of the design
+// choices (region size, queue depth, accuracy throttling).
+//
+// Runs use synthetic benchmark profiles in place of SPEC CPU2000 (see
+// DESIGN.md); shapes, orderings, and win/loss structure are the
+// reproduction targets, not absolute values.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memsim/internal/core"
+	"memsim/internal/workload"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Instrs is the measured instruction budget per run.
+	Instrs uint64
+	// Warmup instructions run before measurement (caches and row
+	// buffers reach steady state).
+	Warmup uint64
+	// Benchmarks restricts the suite; empty means all 26 profiles.
+	Benchmarks []string
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed offsets every workload's deterministic seed, selecting an
+	// independent sample.
+	Seed uint64
+}
+
+// Defaults returns the options used by cmd/experiments: half a million
+// measured instructions after 1.5 million of warmup. The warmup is
+// sized so the 1MB L2 reaches eviction steady state even on the
+// lowest-miss-intensity benchmarks before measurement begins.
+func Defaults() Options {
+	return Options{Instrs: 500_000, Warmup: 1_500_000}
+}
+
+// Runner executes simulation batches.
+type Runner struct {
+	opt Options
+}
+
+// NewRunner validates opt and returns a Runner.
+func NewRunner(opt Options) (*Runner, error) {
+	if opt.Instrs == 0 {
+		return nil, fmt.Errorf("experiments: zero instruction budget")
+	}
+	if len(opt.Benchmarks) == 0 {
+		opt.Benchmarks = workload.Names()
+	}
+	for _, b := range opt.Benchmarks {
+		if _, err := workload.ByName(b); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{opt: opt}, nil
+}
+
+// Benchmarks reports the active suite.
+func (r *Runner) Benchmarks() []string { return r.opt.Benchmarks }
+
+// spec is one simulation to run.
+type spec struct {
+	bench string
+	cfg   core.Config
+	swpf  bool // generator emits software prefetch instructions
+}
+
+// runAll executes the specs with bounded parallelism and returns
+// results in spec order. Budgets from Options override the specs'.
+func (r *Runner) runAll(specs []spec) ([]core.Result, error) {
+	results := make([]core.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.opt.Parallelism)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = r.runOne(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", specs[i].bench, err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single simulation.
+func (r *Runner) runOne(sp spec) (core.Result, error) {
+	p, err := workload.ByName(sp.bench)
+	if err != nil {
+		return core.Result{}, err
+	}
+	gen, err := p.Generator(r.opt.Seed, sp.swpf)
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg := sp.cfg
+	cfg.MaxInstrs = r.opt.Instrs
+	cfg.WarmupInstrs = r.opt.Warmup
+	sys, err := core.New(cfg, gen)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.Run()
+}
+
+// perBench runs one configuration across the whole active suite,
+// returning results keyed by benchmark order.
+func (r *Runner) perBench(cfg core.Config, swpf bool) ([]core.Result, error) {
+	specs := make([]spec, len(r.opt.Benchmarks))
+	for i, b := range r.opt.Benchmarks {
+		specs[i] = spec{bench: b, cfg: cfg, swpf: swpf}
+	}
+	return r.runAll(specs)
+}
+
+// ipcs extracts the IPC column.
+func ipcs(results []core.Result) []float64 {
+	out := make([]float64, len(results))
+	for i, res := range results {
+		out[i] = res.IPC
+	}
+	return out
+}

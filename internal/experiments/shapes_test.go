@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// microRunner is even smaller than tinyRunner, for the sweep-heavy
+// experiments (table1/table2 run dozens of configurations).
+func microRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(Options{
+		Instrs:     30_000,
+		Warmup:     60_000,
+		Benchmarks: []string{"swim", "vpr"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := microRunner(t)
+	res, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.IPCs) != len(BlockSizes) || len(row.MissRates) != len(BlockSizes) {
+			t.Fatalf("%s: sweep lengths wrong", row.Bench)
+		}
+		// A streaming workload's miss rate must fall with block size
+		// over the first few steps (spatial locality).
+		if row.Bench == "swim" && row.MissRates[2] >= row.MissRates[0] {
+			t.Errorf("swim miss rate did not fall with block size: %v", row.MissRates)
+		}
+	}
+	if res.OverallPerf == 0 {
+		t.Fatal("no overall performance point")
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := microRunner(t)
+	res, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != len(ChannelWidths) || len(res.PerfPoint) != len(ChannelWidths) {
+		t.Fatalf("sweep dimensions wrong")
+	}
+	// Wider channels must not shrink the performance point.
+	if res.PerfPoint[len(res.PerfPoint)-1] < res.PerfPoint[0] {
+		t.Errorf("performance point shrank with width: %v", res.PerfPoint)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].HighSpeedup != 1.0 {
+		t.Errorf("MRU row not the baseline: %+v", res.Rows[0])
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// swim must be a winner even at the micro budget.
+	found := false
+	for _, wname := range res.Winners {
+		if wname == "swim" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("winners = %v, want swim included", res.Winners)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Util()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Prefetching must not reduce utilization on the streaming winner.
+	for _, row := range res.Rows {
+		if row.Bench == "swim" && row.DataPF < row.DataBase {
+			t.Errorf("swim data utilization fell with prefetching: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheSizeShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.CacheSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseIPC) != len(CacheSizesMB) {
+		t.Fatalf("sweep length wrong")
+	}
+	if res.BaseSpeedup[0] != 1.0 {
+		t.Errorf("1MB speedup = %v, want 1", res.BaseSpeedup[0])
+	}
+	// Bigger caches never hurt the baseline.
+	last := res.BaseIPC[len(res.BaseIPC)-1]
+	if last < res.BaseIPC[0]*0.98 {
+		t.Errorf("16MB baseline %v below 1MB %v", last, res.BaseIPC[0])
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatSensShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.LatSens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 3 {
+		t.Fatalf("parts = %v", res.Parts)
+	}
+	// Faster DRAM gives higher IPC: 800-34 >= 800-40 >= 800-50.
+	if !(res.Base[0] >= res.Base[1] && res.Base[1] >= res.Base[2]) {
+		t.Errorf("base IPC not ordered by part speed: %v", res.Base)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSWPFShape(t *testing.T) {
+	r, err := NewRunner(Options{
+		Instrs: 60_000, Warmup: 120_000,
+		Benchmarks: []string{"swim", "galgel"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.SWPF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Base <= 0 || row.SW <= 0 || row.Region <= 0 || row.Both <= 0 {
+			t.Fatalf("%s: zero IPC in %+v", row.Bench, row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueDepthShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.QueueDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != len(QueueDepths) {
+		t.Fatalf("sweep length wrong")
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrottleShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.Throttle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TunedIPC <= 0 || res.ThrottledIPC <= 0 {
+		t.Fatalf("zero IPCs: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package memctrl implements the integrated memory controller: request
+// queues for demand misses and writebacks, and the access prioritizer
+// of Figure 4, which forwards any pending L2 demand miss or writeback
+// before it will forward a prefetch request.
+//
+// Demand misses issue strictly in order; the controller pipelines
+// requests on the Rambus channel but does not reorder or interleave
+// commands from multiple requests (Section 4.4). Prefetches are pulled
+// from a PrefetchSource only at instants when the channel is otherwise
+// completely idle, so they add channel contention only when a demand
+// miss arrives while a prefetch is already in progress.
+package memctrl
+
+import (
+	"memsim/internal/addrmap"
+	"memsim/internal/channel"
+	"memsim/internal/sim"
+)
+
+// Request is one block transfer to schedule on the memory channel.
+type Request struct {
+	// Addr is the block-aligned physical address.
+	Addr uint64
+	// Size is the transfer length in bytes (the L2 block size).
+	Size uint64
+	// Class labels the request for priority and statistics.
+	Class channel.Class
+	// Write marks writebacks (data flows to the devices).
+	Write bool
+	// OnFirstData, if non-nil, fires when the first data packet
+	// completes: the critical word is available.
+	OnFirstData func(sim.Time)
+	// OnComplete, if non-nil, fires when the last data packet
+	// completes: the full block has transferred.
+	OnComplete func(sim.Time)
+
+	submitted sim.Time
+}
+
+// PrefetchSource supplies prefetch requests on demand. NextPrefetch is
+// invoked only when the channel is idle and no demand miss or
+// writeback is pending; returning ok=false means nothing to prefetch.
+type PrefetchSource interface {
+	NextPrefetch(now sim.Time) (*Request, bool)
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Issued [3]uint64 // by class
+	// DemandLatency accumulates submit-to-critical-word time for
+	// demand misses; divide by Issued[Demand] for the mean.
+	DemandLatency sim.Time
+	// DemandQueueWait accumulates submit-to-issue time.
+	DemandQueueWait sim.Time
+	// PrefetchesBehindDemand counts demand misses that arrived while a
+	// prefetch transfer was still occupying the channel.
+	PrefetchesBehindDemand uint64
+	// MaxDemandQueue is the demand queue's high-water mark.
+	MaxDemandQueue int
+	// Reordered counts requests issued ahead of older queue entries by
+	// the open-row-first extension.
+	Reordered uint64
+}
+
+// Delta returns the counters accumulated since base was captured.
+// MaxDemandQueue remains the run-wide high-water mark.
+func (s Stats) Delta(base Stats) Stats {
+	d := Stats{
+		DemandLatency:          s.DemandLatency - base.DemandLatency,
+		DemandQueueWait:        s.DemandQueueWait - base.DemandQueueWait,
+		PrefetchesBehindDemand: s.PrefetchesBehindDemand - base.PrefetchesBehindDemand,
+		MaxDemandQueue:         s.MaxDemandQueue,
+		Reordered:              s.Reordered - base.Reordered,
+	}
+	for i := range s.Issued {
+		d.Issued[i] = s.Issued[i] - base.Issued[i]
+	}
+	return d
+}
+
+// Add returns the field-wise sum of two counter sets (aggregating
+// multiple controllers); MaxDemandQueue takes the larger value.
+func (s Stats) Add(o Stats) Stats {
+	r := Stats{
+		DemandLatency:          s.DemandLatency + o.DemandLatency,
+		DemandQueueWait:        s.DemandQueueWait + o.DemandQueueWait,
+		PrefetchesBehindDemand: s.PrefetchesBehindDemand + o.PrefetchesBehindDemand,
+		MaxDemandQueue:         max(s.MaxDemandQueue, o.MaxDemandQueue),
+		Reordered:              s.Reordered + o.Reordered,
+	}
+	for i := range s.Issued {
+		r.Issued[i] = s.Issued[i] + o.Issued[i]
+	}
+	return r
+}
+
+// MeanDemandLatency reports the average demand miss latency.
+func (s Stats) MeanDemandLatency() sim.Time {
+	if s.Issued[channel.Demand] == 0 {
+		return 0
+	}
+	return s.DemandLatency / sim.Time(s.Issued[channel.Demand])
+}
+
+// Controller schedules requests onto one logical Rambus channel.
+type Controller struct {
+	sched  *sim.Scheduler
+	ch     *channel.Channel
+	mapper addrmap.Mapper
+
+	demand     []*Request
+	writebacks []*Request
+	source     PrefetchSource
+
+	// gate is the earliest time the next issue decision may be made:
+	// the previous access's last command packet placement.
+	gate sim.Time
+	// armed tracks whether a decision event is scheduled.
+	armed bool
+	// prefetchInFlight is the completion time of the last prefetch
+	// issued, used to detect demand misses arriving mid-prefetch.
+	prefetchInFlight sim.Time
+
+	// reorderWindow, when positive, lets the controller pick a queued
+	// demand or writeback whose row is already open ahead of older
+	// entries, scanning up to this many queue heads. The paper's
+	// controller issues demand misses strictly in order (Section 5);
+	// this implements the "reordering demand misses and writebacks"
+	// extension from its future work (Section 6).
+	reorderWindow int
+
+	stats Stats
+}
+
+// New wires a controller to a channel and address mapping.
+func New(sched *sim.Scheduler, ch *channel.Channel, mapper addrmap.Mapper) *Controller {
+	return &Controller{sched: sched, ch: ch, mapper: mapper}
+}
+
+// SetPrefetchSource registers the prefetch engine hook. A nil source
+// disables prefetching.
+func (c *Controller) SetPrefetchSource(s PrefetchSource) { c.source = s }
+
+// SetReorderWindow enables open-row-first scheduling of demand misses
+// and writebacks over the first window queue entries; zero restores
+// the paper's strict in-order issue.
+func (c *Controller) SetReorderWindow(window int) { c.reorderWindow = window }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Channel exposes the attached channel (for bank-state queries and
+// utilization statistics).
+func (c *Controller) Channel() *channel.Channel { return c.ch }
+
+// Mapper exposes the address mapping.
+func (c *Controller) Mapper() addrmap.Mapper { return c.mapper }
+
+// QueuedDemands reports the current demand queue length.
+func (c *Controller) QueuedDemands() int { return len(c.demand) }
+
+// Pending reports whether any request is queued or a decision event is
+// armed (used by run loops to detect quiescence).
+func (c *Controller) Pending() bool {
+	return len(c.demand) > 0 || len(c.writebacks) > 0 || c.armed
+}
+
+// Submit enqueues a request. Demand and (in the unscheduled-prefetch
+// configuration) prefetch requests share the in-order demand queue;
+// writebacks wait in their own lower-priority queue.
+func (c *Controller) Submit(r *Request) {
+	r.submitted = c.sched.Now()
+	if r.Class == channel.Writeback {
+		c.writebacks = append(c.writebacks, r)
+	} else {
+		if r.Class == channel.Demand && c.sched.Now() < c.prefetchInFlight {
+			c.stats.PrefetchesBehindDemand++
+		}
+		c.demand = append(c.demand, r)
+		if len(c.demand) > c.stats.MaxDemandQueue {
+			c.stats.MaxDemandQueue = len(c.demand)
+		}
+	}
+	c.arm()
+}
+
+// Kick nudges an idle controller to re-evaluate its prefetch source,
+// e.g. after a new region enters the prefetch queue.
+func (c *Controller) Kick() { c.arm() }
+
+// arm schedules a decision at the gate time if one is not already
+// scheduled.
+func (c *Controller) arm() {
+	if c.armed {
+		return
+	}
+	c.armed = true
+	delay := c.gate - c.sched.Now()
+	c.sched.Schedule(delay, c.decide)
+}
+
+// decide is the access prioritizer: demand misses first, then
+// writebacks, then — only on an idle channel — a prefetch.
+func (c *Controller) decide() {
+	c.armed = false
+	now := c.sched.Now()
+
+	var r *Request
+	switch {
+	case len(c.demand) > 0:
+		r = c.pop(&c.demand)
+	case len(c.writebacks) > 0:
+		r = c.pop(&c.writebacks)
+	default:
+		if c.source == nil {
+			return
+		}
+		// Prefetch when the channel would otherwise go idle: no demand
+		// miss or writeback is pending at this decision point. Prefetch
+		// commands pipeline back to back, so prefetching can drive the
+		// channel to full utilization (swim reaches 96% command-channel
+		// utilization in Section 4.4); a demand miss arriving mid-
+		// prefetch waits only for the current access's command packets.
+		pr, ok := c.source.NextPrefetch(now)
+		if !ok {
+			return
+		}
+		r = pr
+		r.submitted = now
+	}
+
+	spans := addrmap.Spans(c.mapper, r.Addr, r.Size)
+	res := c.ch.Access(now, spans, r.Class, r.Write)
+	c.stats.Issued[r.Class]++
+	if r.Class == channel.Demand {
+		c.stats.DemandLatency += res.FirstData - r.submitted
+		c.stats.DemandQueueWait += now - r.submitted
+	}
+	if r.Class == channel.Prefetch && res.LastData > c.prefetchInFlight {
+		c.prefetchInFlight = res.LastData
+	}
+	if r.OnFirstData != nil {
+		cb, at := r.OnFirstData, res.FirstData
+		c.sched.At(res.FirstData, func() { cb(at) })
+	}
+	if r.OnComplete != nil {
+		cb, at := r.OnComplete, res.LastData
+		c.sched.At(res.LastData, func() { cb(at) })
+	}
+
+	// The next decision may be made once this access's command packets
+	// have all been placed.
+	c.gate = res.CmdDone
+	if len(c.demand) > 0 || len(c.writebacks) > 0 || c.source != nil {
+		c.arm()
+	}
+}
+
+// pop removes and returns the next request from the queue: the oldest,
+// unless reordering is enabled and a younger entry within the window
+// would hit an open row.
+func (c *Controller) pop(q *[]*Request) *Request {
+	idx := 0
+	if c.reorderWindow > 1 {
+		limit := min(c.reorderWindow, len(*q))
+		for i := 0; i < limit; i++ {
+			r := (*q)[i]
+			if c.ch.RowOpen(c.mapper.Map(r.Addr)) {
+				idx = i
+				if i > 0 {
+					c.stats.Reordered++
+				}
+				break
+			}
+		}
+	}
+	r := (*q)[idx]
+	copy((*q)[idx:], (*q)[idx+1:])
+	*q = (*q)[:len(*q)-1]
+	return r
+}

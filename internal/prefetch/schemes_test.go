@@ -1,0 +1,196 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialQueuesAhead(t *testing.T) {
+	s, err := NewSequential(64, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnDemandMiss(0x1000, nil)
+	for i := 1; i <= 4; i++ {
+		b, ok := s.Next(nil)
+		if !ok || b != 0x1000+uint64(i*64) {
+			t.Fatalf("prefetch %d = %#x,%v", i, b, ok)
+		}
+	}
+	if _, ok := s.Next(nil); ok {
+		t.Fatal("queue not drained")
+	}
+	if s.Stats().Issued != 4 {
+		t.Fatalf("Issued = %d", s.Stats().Issued)
+	}
+}
+
+func TestSequentialSkipsResident(t *testing.T) {
+	s, _ := NewSequential(64, 4, 64)
+	s.OnDemandMiss(0x1000, func(b uint64) bool { return b == 0x1040 })
+	b, _ := s.Next(nil)
+	if b != 0x1080 {
+		t.Fatalf("first prefetch = %#x, want resident block skipped", b)
+	}
+}
+
+func TestSequentialQueueBounded(t *testing.T) {
+	s, _ := NewSequential(64, 8, 16)
+	for i := 0; i < 100; i++ {
+		s.OnDemandMiss(uint64(i)*0x10000, nil)
+	}
+	if len(s.queue) > 16 {
+		t.Fatalf("queue = %d, want <= 16", len(s.queue))
+	}
+	// The freshest candidates survive.
+	b, ok := s.Next(nil)
+	if !ok || b < 98*0x10000 {
+		t.Fatalf("stale candidate %#x survived", b)
+	}
+}
+
+func TestSequentialRejectsBadConfig(t *testing.T) {
+	if _, err := NewSequential(0, 4, 8); err == nil {
+		t.Error("zero block accepted")
+	}
+	if _, err := NewSequential(64, 0, 8); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestStreamDetectsUnitStride(t *testing.T) {
+	s, err := NewStream(64, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three consecutive-block misses confirm a +64 stride.
+	s.OnDemandMiss(0x1000, nil)
+	s.OnDemandMiss(0x1040, nil)
+	if _, ok := s.Next(nil); ok {
+		t.Fatal("prefetch before confirmation")
+	}
+	s.OnDemandMiss(0x1080, nil)
+	b, ok := s.Next(nil)
+	if !ok || b != 0x10c0 {
+		t.Fatalf("first stream prefetch = %#x,%v, want 0x10c0", b, ok)
+	}
+}
+
+func TestStreamDetectsLargeStride(t *testing.T) {
+	s, _ := NewStream(64, 8, 2)
+	stride := uint64(256)
+	for i := uint64(0); i < 3; i++ {
+		s.OnDemandMiss(0x2000+i*stride, nil)
+	}
+	b, ok := s.Next(nil)
+	if !ok || b != 0x2000+3*stride {
+		t.Fatalf("stride prefetch = %#x,%v", b, ok)
+	}
+}
+
+func TestStreamDetectsNegativeStride(t *testing.T) {
+	s, _ := NewStream(64, 8, 2)
+	for i := int64(3); i >= 1; i-- {
+		s.OnDemandMiss(uint64(0x4000+i*64), nil)
+	}
+	b, ok := s.Next(nil)
+	if !ok || b != 0x4000 {
+		t.Fatalf("negative-stride prefetch = %#x,%v, want 0x4000", b, ok)
+	}
+}
+
+func TestStreamIgnoresRandomMisses(t *testing.T) {
+	s, _ := NewStream(64, 4, 4)
+	addrs := []uint64{0x10000, 0x95000, 0x21340, 0x7fc0, 0x55000, 0x31c0, 0xef000}
+	for _, a := range addrs {
+		s.OnDemandMiss(a, nil)
+	}
+	if b, ok := s.Next(nil); ok {
+		t.Fatalf("random misses produced prefetch %#x", b)
+	}
+}
+
+func TestStreamTracksMultipleStreams(t *testing.T) {
+	s, _ := NewStream(64, 8, 2)
+	// Interleave two unit-stride streams.
+	for i := uint64(0); i < 4; i++ {
+		s.OnDemandMiss(0x100000+i*64, nil)
+		s.OnDemandMiss(0x900000+i*64, nil)
+	}
+	got := map[uint64]bool{}
+	for {
+		b, ok := s.Next(nil)
+		if !ok {
+			break
+		}
+		got[b&^0xfffff] = true
+	}
+	if !got[0x100000] || !got[0x900000] {
+		t.Fatalf("streams covered = %v, want both", got)
+	}
+}
+
+func TestStreamRepeatMissDoesNotConfuse(t *testing.T) {
+	s, _ := NewStream(64, 4, 2)
+	s.OnDemandMiss(0x1000, nil)
+	s.OnDemandMiss(0x1000, nil) // duplicate (e.g. two misses to one block)
+	s.OnDemandMiss(0x1040, nil)
+	s.OnDemandMiss(0x1080, nil)
+	if _, ok := s.Next(nil); !ok {
+		t.Fatal("duplicate miss broke stride detection")
+	}
+}
+
+// Property: every prefetch a confirmed unit-stride stream issues lies
+// ahead of the triggering misses and within the lookahead window.
+func TestPropertyStreamLookaheadBounded(t *testing.T) {
+	f := func(startRaw uint32, depthRaw uint8) bool {
+		depth := int(depthRaw%8) + 1
+		start := uint64(startRaw) &^ 63
+		s, err := NewStream(64, 4, depth)
+		if err != nil {
+			return false
+		}
+		last := start
+		for i := uint64(0); i < 6; i++ {
+			last = start + i*64
+			s.OnDemandMiss(last, nil)
+		}
+		for {
+			b, ok := s.Next(nil)
+			if !ok {
+				return true
+			}
+			if b <= start || b > last+uint64(depth)*64 {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sequential scheme never issues the missing block itself
+// and never exceeds its queue bound.
+func TestPropertySequentialBehaviour(t *testing.T) {
+	f := func(misses []uint32) bool {
+		s, err := NewSequential(64, 4, 32)
+		if err != nil {
+			return false
+		}
+		missSet := map[uint64]bool{}
+		for _, m := range misses {
+			a := uint64(m) &^ 63
+			missSet[a] = true
+			s.OnDemandMiss(a, nil)
+			if len(s.queue) > 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

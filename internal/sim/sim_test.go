@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroSchedulerUsable(t *testing.T) {
+	var s Scheduler
+	if s.Now() != 0 {
+		t.Fatalf("zero scheduler Now = %v, want 0", s.Now())
+	}
+	ran := false
+	s.Schedule(5*Nanosecond, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if s.Now() != 5*Nanosecond {
+		t.Fatalf("Now = %v, want 5ns", s.Now())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp order broken at %d: got %v", i, order)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(100, func() {
+		e := s.Schedule(-50, func() {})
+		if e.When() != s.Now() {
+			t.Errorf("negative delay scheduled at %v, want now %v", e.When(), s.Now())
+		}
+	})
+	s.Run()
+}
+
+func TestAtClampsPast(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(100, func() {
+		e := s.At(10, func() {})
+		if e.When() != 100 {
+			t.Errorf("past At scheduled for %v, want 100", e.When())
+		}
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.Schedule(10, func() { ran = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	s := NewScheduler()
+	e := s.Schedule(10, func() {})
+	e.Cancel()
+	e.Cancel() // must not panic
+	s.Run()
+}
+
+func TestEventChaining(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.Schedule(Nanosecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if s.Now() != 99*Nanosecond {
+		t.Fatalf("Now = %v, want 99ns", s.Now())
+	}
+	if s.EventsFired() != 100 {
+		t.Fatalf("EventsFired = %d, want 100", s.EventsFired())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", s.Now())
+	}
+}
+
+func TestRunUntilHonorsNewEventsInWindow(t *testing.T) {
+	s := NewScheduler()
+	var fired []string
+	s.Schedule(10, func() {
+		fired = append(fired, "a")
+		s.Schedule(5, func() { fired = append(fired, "b") })  // t=15
+		s.Schedule(50, func() { fired = append(fired, "c") }) // t=60
+	})
+	s.RunUntil(20)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v, want [a b]", fired)
+	}
+}
+
+func TestRunUntilSkipsCanceled(t *testing.T) {
+	s := NewScheduler()
+	e := s.Schedule(10, func() { t.Fatal("canceled event ran") })
+	e.Cancel()
+	ran := false
+	s.Schedule(20, func() { ran = true })
+	s.RunUntil(30)
+	if !ran {
+		t.Fatal("live event did not run")
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.Schedule(1, tick)
+	}
+	s.Schedule(0, tick)
+	s.RunWhile(func() bool { return count < 10 })
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", s.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{5 * Nanosecond, "5ns"},
+		{77500, "77.5ns"},
+		{3 * Microsecond, "3us"},
+		{2 * Millisecond, "2ms"},
+		{Second, "1s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing timestamp order,
+// regardless of scheduling order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, d := range delays {
+			s.Schedule(Time(d), func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil(t) leaves the clock at exactly t and fires exactly
+// the events with timestamps <= t.
+func TestPropertyRunUntilBoundary(t *testing.T) {
+	f := func(delays []uint16, cut uint16) bool {
+		s := NewScheduler()
+		fired := 0
+		want := 0
+		for _, d := range delays {
+			if Time(d) <= Time(cut) {
+				want++
+			}
+			s.Schedule(Time(d), func() { fired++ })
+		}
+		s.RunUntil(Time(cut))
+		return fired == want && s.Now() == Time(cut)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	c := NewClock(1.6e9) // 1.6 GHz -> 625 ps
+	if c.Period() != 625 {
+		t.Fatalf("1.6GHz period = %v, want 625ps", c.Period())
+	}
+	if c.Cycles(16) != 10*Nanosecond {
+		t.Fatalf("16 cycles = %v, want 10ns", c.Cycles(16))
+	}
+	if c.ToCycles(10*Nanosecond) != 16 {
+		t.Fatalf("ToCycles(10ns) = %d, want 16", c.ToCycles(10*Nanosecond))
+	}
+	if c.ToCycles(624) != 0 || c.ToCycles(625) != 1 {
+		t.Fatal("ToCycles rounding wrong")
+	}
+	if c.ToCyclesCeil(1) != 1 || c.ToCyclesCeil(625) != 1 || c.ToCyclesCeil(626) != 2 {
+		t.Fatal("ToCyclesCeil rounding wrong")
+	}
+	if g := c.FreqGHz(); g < 1.59 || g > 1.61 {
+		t.Fatalf("FreqGHz = %v, want ~1.6", g)
+	}
+}
+
+func TestClockNextEdge(t *testing.T) {
+	c := NewClockPeriod(625)
+	if c.NextEdge(0) != 0 {
+		t.Fatalf("NextEdge(0) = %v, want 0", c.NextEdge(0))
+	}
+	if c.NextEdge(1) != 625 {
+		t.Fatalf("NextEdge(1) = %v, want 625", c.NextEdge(1))
+	}
+	if c.NextEdge(625) != 625 {
+		t.Fatalf("NextEdge(625) = %v, want 625", c.NextEdge(625))
+	}
+	if c.NextEdge(626) != 1250 {
+		t.Fatalf("NextEdge(626) = %v, want 1250", c.NextEdge(626))
+	}
+}
+
+func TestClockPanicsOnBadFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := NewScheduler()
+		var fired []Time
+		var tick func()
+		n := 0
+		tick = func() {
+			fired = append(fired, s.Now())
+			n++
+			if n < 50 {
+				s.Schedule(Time(n%7)*Nanosecond, tick)
+				s.Schedule(Time(n%3)*Nanosecond, func() { fired = append(fired, s.Now()) })
+			}
+		}
+		s.Schedule(0, tick)
+		s.Run()
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic firing at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats provides the aggregate statistics used throughout the
+// paper's evaluation: harmonic and arithmetic means, speedups, and the
+// stall-fraction computations of Figure 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HarmonicMean returns the harmonic mean of xs, the correct aggregate
+// for rates such as IPC (the paper aggregates SPEC IPCs this way). It
+// returns 0 for an empty slice and panics on non-positive values,
+// which indicate a broken measurement.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %v", x))
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean, or 0 for an empty slice. It
+// panics on non-positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geometric mean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Speedup returns the relative improvement of next over base as a
+// ratio (1.43 = 43% faster).
+func Speedup(base, next float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return next / base
+}
+
+// LostFraction returns the fraction of performance lost relative to an
+// upper bound: (upper - actual) / upper. Figure 1 uses it for both the
+// perfect-memory and perfect-L2 comparisons.
+func LostFraction(actual, upper float64) float64 {
+	if upper == 0 {
+		return 0
+	}
+	f := (upper - actual) / upper
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Min returns the index and value of the smallest element. It panics
+// on an empty slice.
+func Min(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, x := range xs {
+		if x < bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// Max returns the index and value of the largest element. It panics on
+// an empty slice.
+func Max(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, x := range xs {
+		if x > bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Pct formats a fraction as a percentage string ("43.0%").
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

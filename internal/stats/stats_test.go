@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); !close(got, 1) {
+		t.Errorf("HM(1,1,1) = %v", got)
+	}
+	if got := HarmonicMean([]float64{1, 2}); !close(got, 4.0/3) {
+		t.Errorf("HM(1,2) = %v, want 4/3", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HM(nil) = %v", got)
+	}
+}
+
+func TestHarmonicMeanPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestMeanMedian(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !close(got, 2) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median([]float64{3, 1, 2}); !close(got, 2) {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); !close(got, 2.5) {
+		t.Errorf("Median even = %v", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty aggregates not 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !close(got, 2) {
+		t.Errorf("GeoMean(1,4) = %v", got)
+	}
+}
+
+func TestSpeedupAndLostFraction(t *testing.T) {
+	if got := Speedup(1.0, 1.43); !close(got, 1.43) {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := LostFraction(0.43, 1.0); !close(got, 0.57) {
+		t.Errorf("LostFraction = %v, want 0.57", got)
+	}
+	if got := LostFraction(1.2, 1.0); got != 0 {
+		t.Errorf("LostFraction clamp = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	i, v := Min([]float64{3, 1, 2})
+	if i != 1 || v != 1 {
+		t.Errorf("Min = %d,%v", i, v)
+	}
+	i, v = Max([]float64{3, 1, 2})
+	if i != 0 || v != 3 {
+		t.Errorf("Max = %d,%v", i, v)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.43); got != "43.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+// Property: HM <= GM <= AM for positive inputs.
+func TestPropertyMeanInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

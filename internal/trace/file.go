@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File format: a magic header followed by one varint-encoded record per
+// operation. Addresses are delta-encoded (zigzag) against the previous
+// operation, which compresses streaming traces to a few bytes per op.
+//
+//	magic   "MSTRC1\n"
+//	record  uvarint(nonMem) varint(addr - prevAddr) byte(kind | dep<<7)
+const fileMagic = "MSTRC1\n"
+
+// WriteFile encodes up to n operations from g into w. It returns the
+// number of operations written (fewer than n only if g ends first).
+func WriteFile(w io.Writer, g Generator, n uint64) (uint64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return 0, err
+	}
+	var buf [2*binary.MaxVarintLen64 + 1]byte
+	var prev uint64
+	var written uint64
+	for ; written < n; written++ {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		i := binary.PutUvarint(buf[:], uint64(op.NonMem))
+		i += binary.PutVarint(buf[i:], int64(op.Addr)-int64(prev))
+		prev = op.Addr
+		b := byte(op.Kind)
+		if op.DependsOnPrev {
+			b |= 0x80
+		}
+		buf[i] = b
+		i++
+		if _, err := bw.Write(buf[:i]); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// FileReader replays a trace written by WriteFile. It implements
+// Generator; decoding errors surface through Err after the stream
+// ends.
+type FileReader struct {
+	br   *bufio.Reader
+	prev uint64
+	err  error
+	done bool
+}
+
+// NewFileReader validates the header and returns a reader positioned
+// at the first operation.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	return &FileReader{br: br}, nil
+}
+
+// Next implements Generator.
+func (f *FileReader) Next() (Op, bool) {
+	if f.done {
+		return Op{}, false
+	}
+	nonMem, err := binary.ReadUvarint(f.br)
+	if err != nil {
+		f.finish(err)
+		return Op{}, false
+	}
+	delta, err := binary.ReadVarint(f.br)
+	if err != nil {
+		f.finish(err)
+		return Op{}, false
+	}
+	kb, err := f.br.ReadByte()
+	if err != nil {
+		f.finish(err)
+		return Op{}, false
+	}
+	addr := uint64(int64(f.prev) + delta)
+	f.prev = addr
+	op := Op{
+		NonMem:        int(nonMem),
+		Addr:          addr,
+		Kind:          Kind(kb & 0x7f),
+		DependsOnPrev: kb&0x80 != 0,
+	}
+	if op.Kind > SWPrefetch {
+		f.finish(fmt.Errorf("trace: invalid kind %d", op.Kind))
+		return Op{}, false
+	}
+	return op, true
+}
+
+// finish records the stream end; a clean EOF at a record boundary is
+// not an error.
+func (f *FileReader) finish(err error) {
+	f.done = true
+	if err != io.EOF {
+		f.err = err
+	}
+}
+
+// Err reports the first decoding error, or nil after a clean end.
+func (f *FileReader) Err() error { return f.err }

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpInstructions(t *testing.T) {
+	if got := (Op{NonMem: 7}).Instructions(); got != 8 {
+		t.Fatalf("Instructions = %d, want 8", got)
+	}
+	if got := (Op{}).Instructions(); got != 1 {
+		t.Fatalf("bare op Instructions = %d, want 1", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Load: "load", Store: "store", SWPrefetch: "swprefetch"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	ops := []Op{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	s := NewSlice(ops)
+	for i := range ops {
+		op, ok := s.Next()
+		if !ok || op.Addr != ops[i].Addr {
+			t.Fatalf("Next %d = %+v, %v", i, op, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted slice returned an op")
+	}
+	s.Reset()
+	if op, ok := s.Next(); !ok || op.Addr != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	r := NewRepeat([]Op{{Addr: 1}, {Addr: 2}})
+	want := []uint64{1, 2, 1, 2, 1}
+	for i, w := range want {
+		op, ok := r.Next()
+		if !ok || op.Addr != w {
+			t.Fatalf("Repeat %d = %+v,%v, want addr %d", i, op, ok, w)
+		}
+	}
+}
+
+func TestRepeatEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRepeat(nil) did not panic")
+		}
+	}()
+	NewRepeat(nil)
+}
+
+func TestLimit(t *testing.T) {
+	l := &Limit{G: NewRepeat([]Op{{Addr: 1}}), N: 3}
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("Limit yielded %d ops, want 3", n)
+	}
+}
+
+// Property: a Slice yields exactly its ops in order, once.
+func TestPropertySliceFaithful(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		var ops []Op
+		for _, a := range addrs {
+			ops = append(ops, Op{Addr: uint64(a)})
+		}
+		s := NewSlice(ops)
+		for i := 0; ; i++ {
+			op, ok := s.Next()
+			if !ok {
+				return i == len(ops)
+			}
+			if i >= len(ops) || op.Addr != ops[i].Addr {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

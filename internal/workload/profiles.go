@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"fmt"
+
+	"memsim/internal/trace"
+)
+
+// KB and MB are byte-size helpers for profile tables.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+)
+
+// profiles is the calibrated SPEC CPU2000 stand-in suite. Calibration
+// targets, per benchmark, are drawn from the paper:
+//
+//   - Section 1: mcf is bandwidth-bound (23M L2 misses / 200M instrs);
+//     facerec is latency-bound (60% stall on 1.2M DRAM accesses).
+//   - Section 4.1: prefetch accuracy > 20% for applu, art, eon, equake,
+//     facerec, fma3d, gap, gcc, gzip, mgrid, parser, sixtrack, swim,
+//     wupwise; below 20% for ammp, apsi, bzip2, crafty, galgel, lucas,
+//     mcf, perlbmk, twolf, vortex, vpr.
+//   - Section 4.2/4.3: scheduled region prefetching helps applu,
+//     equake, facerec, fma3d, gap, mesa, mgrid, parser, swim, wupwise
+//     by >= 10%; art and mcf are too bandwidth-bound to benefit; vpr is
+//     the only benchmark that slows down.
+//   - Section 4.5: perlbmk, eon, gzip, vortex (and largely twolf,
+//     crafty) fit in the 1MB L2; the winners' temporal sets fit at 1MB
+//     with spatial locality left for prefetching; ammp, art, bzip2,
+//     galgel, lucas, mcf, vpr, facerec have multi-megabyte working
+//     sets, most without prefetchable locality.
+//   - Section 4.7: software prefetching helps mgrid (+23%), swim
+//     (+39%), wupwise (+10%), mildly helps apsi and lucas (+5%), and
+//     hurts galgel (-11%) through useless prefetch overhead.
+var profiles = []Profile{
+	{
+		Name:  "ammp",
+		Notes: "low accuracy; working set grows past 2-8MB; pointer-heavy molecular dynamics",
+		Params: Params{
+			WorkingSet: 6 * MB, ResidentBytes: 640 * KB,
+			MemFraction: 0.06, StoreFraction: 0.12,
+			StreamWeight: 0.08, ChaseWeight: 0.25, Streams: 1, ElemBytes: 16, Coverage: 0.5,
+			DependentChase: true, ResidentDependent: 0.3, ChaseSpill: 0.5,
+		},
+	},
+	{
+		Name:  "applu",
+		Notes: "Fig 5 winner; dense PDE sweeps; biggest XOR-mapping gain (63%)",
+		Params: Params{
+			WorkingSet: 32 * MB, ResidentBytes: 256 * KB,
+			MemFraction: 0.08, StoreFraction: 0.22,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.85, ChaseWeight: 0, Streams: 5, ElemBytes: 8, Coverage: 1.0,
+		},
+	},
+	{
+		Name:  "apsi",
+		Notes: "low accuracy; strided meteorology arrays; +5% from software prefetch",
+		Params: Params{
+			WorkingSet: 3 * MB, ResidentBytes: 512 * KB,
+			MemFraction: 0.04, StoreFraction: 0.15,
+			StreamWeight: 0.15, ChaseWeight: 0.08, Streams: 3, ElemBytes: 128, Coverage: 0.35,
+			DependentChase: true, ResidentDependent: 0.25,
+			SWPrefetch: SWPF{Prob: 0.4, DistanceBlocks: 8},
+		},
+	},
+	{
+		Name:  "art",
+		Notes: "45% prefetch accuracy but bandwidth-bound: rapid repeated sweeps of multi-MB arrays saturate the channel",
+		Params: Params{
+			WorkingSet: 3 * MB, ResidentBytes: 64 * KB,
+			MemFraction: 0.30, StoreFraction: 0.05,
+			ResidentDependent: 0.2,
+			StreamWeight:      0.88, ChaseWeight: 0, Streams: 4, ElemBytes: 32, Coverage: 0.55,
+		},
+	},
+	{
+		Name:  "bzip2",
+		Notes: "low accuracy; ~2MB working set; data-dependent table walks",
+		Params: Params{
+			WorkingSet: 2 * MB, ResidentBytes: 512 * KB,
+			MemFraction: 0.05, StoreFraction: 0.18,
+			StreamWeight: 0.15, ChaseWeight: 0.12, Streams: 2, ElemBytes: 8, Coverage: 0.45,
+			DependentChase: false, ResidentDependent: 0.4, ChaseSpill: 0.4,
+		},
+	},
+	{
+		Name:  "crafty",
+		Notes: "cache-resident chess search with scattered hash probes; low accuracy",
+		Params: Params{
+			WorkingSet: 640 * KB, ResidentBytes: 320 * KB,
+			MemFraction: 0.10, StoreFraction: 0.10,
+			StreamWeight: 0, ChaseWeight: 0.22, Streams: 0, ElemBytes: 0, Coverage: 0,
+			DependentChase: true, ResidentDependent: 0.4, ChaseSpill: 0.3,
+		},
+	},
+	{
+		Name:  "eon",
+		Notes: "Section 4.5 category 1: few L2 misses at 1MB; ray tracer fits in cache",
+		Params: Params{
+			WorkingSet: 256 * KB, ResidentBytes: 448 * KB,
+			MemFraction: 0.30, StoreFraction: 0.15,
+			ResidentDependent: 0.4,
+			StreamWeight:      0.10, ChaseWeight: 0, Streams: 1, ElemBytes: 16, Coverage: 0.9,
+		},
+	},
+	{
+		Name:  "equake",
+		Notes: "Fig 5 winner; sparse-matrix earthquake code: streams plus dependent indirections",
+		Params: Params{
+			WorkingSet: 12 * MB, ResidentBytes: 320 * KB,
+			MemFraction: 0.065, StoreFraction: 0.12,
+			StreamWeight: 0.68, ChaseWeight: 0.05, Streams: 4, ElemBytes: 8, Coverage: 0.95,
+			DependentChase: true, ResidentDependent: 0.25, ChaseSpill: 0.4,
+		},
+	},
+	{
+		Name:  "facerec",
+		Notes: "latency-bound: 60% stall on 1.2M accesses; ~8MB set; >40% XOR gain; Fig 5 winner",
+		Params: Params{
+			WorkingSet: 8 * MB, ResidentBytes: 512 * KB,
+			MemFraction: 0.05, StoreFraction: 0.08,
+			StreamWeight: 0.60, ChaseWeight: 0.03, Streams: 2, ElemBytes: 8, Coverage: 0.95,
+			DependentChase: true, ResidentDependent: 0.25,
+		},
+	},
+	{
+		Name:  "fma3d",
+		Notes: "Fig 5 winner; finite-element streams; >40% XOR gain",
+		Params: Params{
+			WorkingSet: 24 * MB, ResidentBytes: 384 * KB,
+			MemFraction: 0.07, StoreFraction: 0.20,
+			StreamWeight: 0.72, ChaseWeight: 0.04, Streams: 6, ElemBytes: 8, Coverage: 0.9,
+			DependentChase: true, ResidentDependent: 0.25,
+		},
+	},
+	{
+		Name:  "galgel",
+		Notes: "low accuracy; ~2MB set; strided Galerkin kernels; software prefetch hurts (-11%)",
+		Params: Params{
+			WorkingSet: 2 * MB, ResidentBytes: 576 * KB,
+			MemFraction: 0.04, StoreFraction: 0.10,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.15, ChaseWeight: 0.05, Streams: 4, ElemBytes: 256, Coverage: 0.3,
+			SWPrefetch: SWPF{Prob: 0.8, DistanceBlocks: 4, Wild: true},
+		},
+	},
+	{
+		Name:  "gap",
+		Notes: "Fig 5 winner; group-theory interpreter with streaming collections over a few MB",
+		Params: Params{
+			WorkingSet: 4 * MB, ResidentBytes: 512 * KB,
+			MemFraction: 0.06, StoreFraction: 0.14,
+			ResidentDependent: 0.4,
+			StreamWeight:      0.55, ChaseWeight: 0.05, Streams: 3, ElemBytes: 8, Coverage: 0.95,
+		},
+	},
+	{
+		Name:  "gcc",
+		Notes: "high accuracy but pollution-sensitive (benefits from LRU insertion); ~2MB of IR",
+		Params: Params{
+			WorkingSet: 2 * MB, ResidentBytes: 640 * KB,
+			MemFraction: 0.04, StoreFraction: 0.16,
+			StreamWeight: 0.48, ChaseWeight: 0.10, Streams: 2, ElemBytes: 16, Coverage: 0.85,
+			DependentChase: true, ResidentDependent: 0.4,
+		},
+	},
+	{
+		Name:  "gzip",
+		Notes: "Section 4.5 category 1: window buffers fit the 1MB L2",
+		Params: Params{
+			WorkingSet: 512 * KB, ResidentBytes: 512 * KB,
+			MemFraction: 0.30, StoreFraction: 0.20,
+			ResidentDependent: 0.4,
+			StreamWeight:      0.20, ChaseWeight: 0, Streams: 1, ElemBytes: 8, Coverage: 1.0,
+		},
+	},
+	{
+		Name:  "lucas",
+		Notes: "low accuracy; ~8MB FFT with large power-of-two strides; +5% from software prefetch",
+		Params: Params{
+			WorkingSet: 8 * MB, ResidentBytes: 256 * KB,
+			MemFraction: 0.035, StoreFraction: 0.18,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.35, ChaseWeight: 0, Streams: 4, ElemBytes: 512, Coverage: 0.25,
+			SWPrefetch: SWPF{Prob: 0.4, DistanceBlocks: 8},
+		},
+	},
+	{
+		Name:  "mcf",
+		Notes: "worst case: 80% L2 stall, bandwidth-saturating independent misses over ~160MB",
+		Params: Params{
+			WorkingSet: 160 * MB, ResidentBytes: 256 * KB,
+			MemFraction: 0.18, StoreFraction: 0.08,
+			StreamWeight: 0.10, ChaseWeight: 0.72, Streams: 1, ElemBytes: 8, Coverage: 0.6,
+			DependentChase: false, ResidentDependent: 0.3, ChaseSpill: 0.5,
+		},
+	},
+	{
+		Name:  "mesa",
+		Notes: "Fig 5 winner; rasterization streams over a few MB with framebuffer stores",
+		Params: Params{
+			WorkingSet: 4 * MB, ResidentBytes: 448 * KB,
+			MemFraction: 0.07, StoreFraction: 0.30,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.55, ChaseWeight: 0.03, Streams: 2, ElemBytes: 16, Coverage: 0.95,
+		},
+	},
+	{
+		Name:  "mgrid",
+		Notes: "Fig 5 winner; multigrid stencil streams; software prefetch +23%",
+		Params: Params{
+			WorkingSet: 32 * MB, ResidentBytes: 192 * KB,
+			MemFraction: 0.08, StoreFraction: 0.18,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.88, ChaseWeight: 0, Streams: 8, ElemBytes: 8, Coverage: 1.0,
+			SWPrefetch: SWPF{Prob: 0.9, DistanceBlocks: 12},
+		},
+	},
+	{
+		Name:  "parser",
+		Notes: "Fig 5 winner; dictionary streams with dependent lookups; pollution-sensitive",
+		Params: Params{
+			WorkingSet: 8 * MB, ResidentBytes: 576 * KB,
+			MemFraction: 0.07, StoreFraction: 0.12,
+			StreamWeight: 0.58, ChaseWeight: 0.03, Streams: 2, ElemBytes: 8, Coverage: 0.97,
+			DependentChase: true, ResidentDependent: 0.4, ChaseSpill: 0.4,
+		},
+	},
+	{
+		Name:  "perlbmk",
+		Notes: "Section 4.5 category 1: interpreter state fits the 1MB L2",
+		Params: Params{
+			WorkingSet: 384 * KB, ResidentBytes: 576 * KB,
+			MemFraction: 0.32, StoreFraction: 0.18,
+			StreamWeight: 0.04, ChaseWeight: 0.08, Streams: 1, ElemBytes: 16, Coverage: 0.8,
+			DependentChase: true, ResidentDependent: 0.4, ChaseSpill: 0.4,
+		},
+	},
+	{
+		Name:  "sixtrack",
+		Notes: "high accuracy, few L2 misses: particle tracking mostly in cache",
+		Params: Params{
+			WorkingSet: 512 * KB, ResidentBytes: 448 * KB,
+			MemFraction: 0.30, StoreFraction: 0.12,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.18, ChaseWeight: 0, Streams: 2, ElemBytes: 8, Coverage: 1.0,
+		},
+	},
+	{
+		Name:  "swim",
+		Notes: "purest streamer: 99% prefetch accuracy, 49% speedup, software prefetch +39%",
+		Params: Params{
+			WorkingSet: 64 * MB, ResidentBytes: 128 * KB,
+			MemFraction: 0.09, StoreFraction: 0.25,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.95, ChaseWeight: 0, Streams: 6, ElemBytes: 8, Coverage: 1.0,
+			SWPrefetch: SWPF{Prob: 0.9, DistanceBlocks: 16},
+		},
+	},
+	{
+		Name:  "twolf",
+		Notes: "low accuracy (7%), command-channel filler under prefetching, ~2MB place-and-route graph",
+		Params: Params{
+			WorkingSet: 2 * MB, ResidentBytes: 640 * KB,
+			MemFraction: 0.045, StoreFraction: 0.10,
+			StreamWeight: 0.04, ChaseWeight: 0.12, Streams: 1, ElemBytes: 16, Coverage: 0.3,
+			DependentChase: true, ResidentDependent: 0.4, ChaseSpill: 0.5,
+		},
+	},
+	{
+		Name:  "vortex",
+		Notes: "Section 4.5 category 1: OO database mostly cache-resident; low accuracy",
+		Params: Params{
+			WorkingSet: 512 * KB, ResidentBytes: 384 * KB,
+			MemFraction: 0.12, StoreFraction: 0.20,
+			StreamWeight: 0.06, ChaseWeight: 0.16, Streams: 1, ElemBytes: 16, Coverage: 0.5,
+			DependentChase: true, ResidentDependent: 0.4, ChaseSpill: 0.4,
+		},
+	},
+	{
+		Name:  "vpr",
+		Notes: "the one benchmark prefetching slightly hurts: 2-4MB set, dependent scattered refs, little spatial locality",
+		Params: Params{
+			WorkingSet: 3 * MB, ResidentBytes: 512 * KB,
+			MemFraction: 0.05, StoreFraction: 0.10,
+			StreamWeight: 0.05, ChaseWeight: 0.16, Streams: 1, ElemBytes: 16, Coverage: 0.35,
+			DependentChase: true, ResidentDependent: 0.4, ChaseSpill: 0.5,
+		},
+	},
+	{
+		Name:  "wupwise",
+		Notes: "Fig 5 winner; lattice QCD streams; software prefetch +10%",
+		Params: Params{
+			WorkingSet: 16 * MB, ResidentBytes: 320 * KB,
+			MemFraction: 0.075, StoreFraction: 0.16,
+			ResidentDependent: 0.25,
+			StreamWeight:      0.78, ChaseWeight: 0, Streams: 4, ElemBytes: 8, Coverage: 0.95,
+			SWPrefetch: SWPF{Prob: 0.7, DistanceBlocks: 10},
+		},
+	},
+}
+
+// Profiles returns the 26 benchmark profiles in alphabetical order
+// (the SPEC CPU2000 suite ordering used throughout the paper's
+// figures).
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName looks up a profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Generator builds the profile's instruction stream. Each profile
+// derives a fixed seed from its name so runs are reproducible;
+// seedOffset selects independent samples. swPrefetch enables
+// software-prefetch emission (discarded by default, as in the paper's
+// main experiments).
+func (p Profile) Generator(seedOffset uint64, swPrefetch bool) (trace.Generator, error) {
+	seed := seedOffset
+	for _, c := range p.Name {
+		seed = seed*31 + uint64(c)
+	}
+	return NewGenerator(p.Params, seed, swPrefetch)
+}

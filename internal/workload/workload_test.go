@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"testing"
+
+	"memsim/internal/trace"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 26 {
+		t.Fatalf("suite has %d profiles, want 26", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Notes == "" {
+			t.Errorf("%s: missing calibration notes", p.Name)
+		}
+		g, err := p.Generator(0, false)
+		if err != nil {
+			t.Fatalf("%s: generator: %v", p.Name, err)
+		}
+		if _, ok := g.Next(); !ok {
+			t.Errorf("%s: generator exhausted immediately", p.Name)
+		}
+	}
+}
+
+func TestSuiteOrderAlphabetical(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("suite order broken at %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mcf" {
+		t.Fatalf("ByName returned %q", p.Name)
+	}
+	if _, err := ByName("doom3"); err == nil {
+		t.Fatal("ByName accepted unknown benchmark")
+	}
+}
+
+func take(t *testing.T, g trace.Generator, n int) []trace.Op {
+	t.Helper()
+	ops := make([]trace.Op, 0, n)
+	for i := 0; i < n; i++ {
+		op, ok := g.Next()
+		if !ok {
+			t.Fatal("generator exhausted")
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := ByName("equake")
+	g1, _ := p.Generator(7, true)
+	g2, _ := p.Generator(7, true)
+	a := take(t, g1, 5000)
+	b := take(t, g2, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed offset must give a different sample.
+	g3, _ := p.Generator(8, true)
+	c := take(t, g3, 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, p := range Profiles() {
+		g, _ := p.Generator(0, true)
+		skew := uint64(p.Params.Streams) * streamSkewBlocks * blockBytes
+		limit := p.Params.ResidentBytes + p.Params.WorkingSet + skew +
+			uint64(p.Params.SWPrefetch.DistanceBlocks*blockBytes) + 4096
+		for _, op := range take(t, g, 20000) {
+			if op.Addr > limit {
+				t.Fatalf("%s: address %#x beyond footprint %#x", p.Name, op.Addr, limit)
+			}
+		}
+	}
+}
+
+func TestStreamCoverageDense(t *testing.T) {
+	// With coverage 1 and a single stream, every 64B block of the span
+	// is touched in order.
+	params := Params{
+		WorkingSet: 64 * KB, ResidentBytes: 4 * KB,
+		MemFraction: 0.5, StreamWeight: 1.0, Streams: 1, ElemBytes: 8, Coverage: 1.0,
+	}
+	g, err := NewGenerator(params, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := map[uint64]bool{}
+	for _, op := range take(t, g, 64*KB/8*2) {
+		touched[op.Addr/blockBytes] = true
+	}
+	want := 64 * KB / blockBytes
+	if len(touched) < want {
+		t.Fatalf("dense stream touched %d blocks, want %d", len(touched), want)
+	}
+}
+
+func TestStreamCoverageSparse(t *testing.T) {
+	// Coverage 0.3 should leave most blocks untouched in one pass.
+	params := Params{
+		WorkingSet: 1 * MB, ResidentBytes: 4 * KB,
+		MemFraction: 0.5, StreamWeight: 1.0, Streams: 1, ElemBytes: 64, Coverage: 0.3,
+	}
+	g, _ := NewGenerator(params, 1, false)
+	touched := map[uint64]bool{}
+	n := 4000 // fewer accesses than blocks in the span
+	for _, op := range take(t, g, n) {
+		touched[op.Addr/blockBytes] = true
+	}
+	// With 70% skipping, n accesses spread over ~n/0.3 blocks; the
+	// touched count stays near n but the span consumed is much larger.
+	if len(touched) > n {
+		t.Fatalf("sparse stream touched %d distinct blocks from %d accesses", len(touched), n)
+	}
+}
+
+func TestDependentChaseFlag(t *testing.T) {
+	params := Params{
+		WorkingSet: 1 * MB, ResidentBytes: 4 * KB,
+		MemFraction: 0.5, ChaseWeight: 1.0, DependentChase: true,
+	}
+	g, _ := NewGenerator(params, 1, false)
+	deps := 0
+	ops := take(t, g, 1000)
+	for _, op := range ops {
+		if op.DependsOnPrev {
+			deps++
+		}
+	}
+	if deps != len(ops) {
+		t.Fatalf("dependent chase produced %d/%d dependent ops", deps, len(ops))
+	}
+}
+
+func TestStoreFraction(t *testing.T) {
+	params := Params{
+		WorkingSet: 1 * MB, ResidentBytes: 4 * KB,
+		MemFraction: 0.5, StoreFraction: 0.3, StreamWeight: 1.0, Streams: 1, ElemBytes: 8, Coverage: 1.0,
+	}
+	g, _ := NewGenerator(params, 1, false)
+	stores := 0
+	ops := take(t, g, 10000)
+	for _, op := range ops {
+		if op.Kind == trace.Store {
+			stores++
+		}
+	}
+	frac := float64(stores) / float64(len(ops))
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("store fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestMemFractionShapesNonMem(t *testing.T) {
+	params := Params{
+		WorkingSet: 1 * MB, ResidentBytes: 4 * KB,
+		MemFraction: 0.25, StreamWeight: 1.0, Streams: 1, ElemBytes: 8, Coverage: 1.0,
+	}
+	g, _ := NewGenerator(params, 1, false)
+	var instrs, memOps uint64
+	for _, op := range take(t, g, 20000) {
+		instrs += op.Instructions()
+		memOps++
+	}
+	frac := float64(memOps) / float64(instrs)
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("memory fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestSWPrefetchEmission(t *testing.T) {
+	p, _ := ByName("swim")
+	gOff, _ := p.Generator(0, false)
+	for _, op := range take(t, gOff, 10000) {
+		if op.Kind == trace.SWPrefetch {
+			t.Fatal("software prefetch emitted while disabled")
+		}
+	}
+	gOn, _ := p.Generator(0, true)
+	pf := 0
+	for _, op := range take(t, gOn, 10000) {
+		if op.Kind == trace.SWPrefetch {
+			pf++
+		}
+	}
+	if pf == 0 {
+		t.Fatal("swim emitted no software prefetches when enabled")
+	}
+}
+
+func TestSWPrefetchAimsAhead(t *testing.T) {
+	// Non-wild prefetches must target the emitting stream's own span.
+	params := Params{
+		WorkingSet: 1 * MB, ResidentBytes: 4 * KB,
+		MemFraction: 0.5, StreamWeight: 1.0, Streams: 1, ElemBytes: 8, Coverage: 1.0,
+		SWPrefetch: SWPF{Prob: 1.0, DistanceBlocks: 8},
+	}
+	g, _ := NewGenerator(params, 1, true)
+	for _, op := range take(t, g, 5000) {
+		if op.Kind == trace.SWPrefetch {
+			if op.Addr < params.ResidentBytes || op.Addr > params.ResidentBytes+params.WorkingSet {
+				t.Fatalf("prefetch target %#x outside stream span", op.Addr)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{MemFraction: 0, ResidentBytes: KB},
+		{MemFraction: 0.3, StoreFraction: 2, ResidentBytes: KB},
+		{MemFraction: 0.3, StreamWeight: 0.8, ChaseWeight: 0.5, ResidentBytes: KB, WorkingSet: MB, Streams: 1, ElemBytes: 8, Coverage: 1},
+		{MemFraction: 0.3, StreamWeight: 0.5, WorkingSet: MB, ResidentBytes: KB, Streams: 0, ElemBytes: 8, Coverage: 1},
+		{MemFraction: 0.3, StreamWeight: 0.5, WorkingSet: MB, ResidentBytes: KB, Streams: 1, ElemBytes: 0, Coverage: 1},
+		{MemFraction: 0.3, StreamWeight: 0.5, WorkingSet: MB, ResidentBytes: KB, Streams: 1, ElemBytes: 8, Coverage: 0},
+		{MemFraction: 0.3, StreamWeight: 0.5, ChaseWeight: 0.2, WorkingSet: 0, ResidentBytes: KB, Streams: 1, ElemBytes: 8, Coverage: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestProfileClassesDiffer(t *testing.T) {
+	// Sanity: a streaming winner and a pointer chaser should produce
+	// structurally different streams (dependence fraction).
+	swim, _ := ByName("swim")
+	vpr, _ := ByName("vpr")
+	gs, _ := swim.Generator(0, false)
+	gv, _ := vpr.Generator(0, false)
+	depFrac := func(ops []trace.Op) float64 {
+		n := 0
+		for _, op := range ops {
+			if op.DependsOnPrev {
+				n++
+			}
+		}
+		return float64(n) / float64(len(ops))
+	}
+	// swim's only dependences are occasional hot-set load-use chains.
+	if d := depFrac(take(t, gs, 5000)); d > 0.05 {
+		t.Fatalf("swim dependence fraction = %v, want near 0", d)
+	}
+	if d := depFrac(take(t, gv, 5000)); d < 0.3 {
+		t.Fatalf("vpr dependence fraction = %v, want pointer chasing", d)
+	}
+}
+
+func TestResidentDependentFraction(t *testing.T) {
+	params := Params{
+		WorkingSet: MB, ResidentBytes: 256 * KB,
+		MemFraction: 0.5, StreamWeight: 0, ChaseWeight: 0,
+		ResidentDependent: 0.5,
+	}
+	g, err := NewGenerator(params, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := 0
+	ops := take(t, g, 10000)
+	for _, op := range ops {
+		if op.DependsOnPrev {
+			dep++
+		}
+	}
+	frac := float64(dep) / float64(len(ops))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("resident dependence fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestResidentDependentValidation(t *testing.T) {
+	p := Params{
+		WorkingSet: MB, ResidentBytes: KB, MemFraction: 0.3,
+		ResidentDependent: 1.5,
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range resident dependence accepted")
+	}
+}
+
+func TestStreamSkewSeparatesStreams(t *testing.T) {
+	// Two streams with a power-of-two span must not share base
+	// addresses modulo the DRAM row stride (the skew guarantees it).
+	params := Params{
+		WorkingSet: 64 * MB, ResidentBytes: 0,
+		MemFraction: 0.5, StreamWeight: 1.0, Streams: 2, ElemBytes: 8, Coverage: 1.0,
+	}
+	g, err := NewGenerator(params, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := g.(*generator)
+	b0, b1 := gen.streamBase(0), gen.streamBase(1)
+	if (b1-b0)%8192 == 0 {
+		t.Fatalf("stream bases %#x and %#x are row-stride aligned; skew missing", b0, b1)
+	}
+}

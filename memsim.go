@@ -1,0 +1,160 @@
+// Package memsim is a cycle-level simulator of the integrated memory
+// hierarchy from "Reducing DRAM Latencies with an Integrated Memory
+// Hierarchy Design" (Lin, Reinhardt & Burger, HPCA 2001): a trace-
+// driven out-of-order core, split L1 caches, a large on-chip L2, an
+// integrated memory controller with scheduled region prefetching, and
+// a multi-channel Direct Rambus (DRDRAM) memory system with full
+// bank/row-buffer timing.
+//
+// The package is a facade over the internal subsystem packages. A
+// minimal run looks like:
+//
+//	cfg := memsim.TunedConfig()            // XOR mapping + tuned prefetcher
+//	cfg.MaxInstrs = 1_000_000
+//	cfg.WarmupInstrs = 1_500_000
+//	gen, _ := memsim.Workload("swim", 0, false)
+//	res, _ := memsim.Run(cfg, gen)
+//	fmt.Printf("IPC %.3f, L2 miss rate %.1f%%\n", res.IPC, 100*res.L2MissRate())
+//
+// Workloads are deterministic synthetic stand-ins for the 26 SPEC
+// CPU2000 benchmarks the paper evaluates (see DESIGN.md for the
+// substitution rationale), and custom instruction streams can be
+// supplied through the Generator interface or built from
+// WorkloadParams.
+package memsim
+
+import (
+	"io"
+
+	"memsim/internal/cache"
+	"memsim/internal/core"
+	"memsim/internal/dram"
+	"memsim/internal/prefetch"
+	"memsim/internal/trace"
+	"memsim/internal/workload"
+)
+
+// Config describes a simulated system; see BaseConfig and TunedConfig
+// for the paper's reference points.
+type Config = core.Config
+
+// PrefetchConfig tunes the scheduled region prefetch engine.
+type PrefetchConfig = core.PrefetchConfig
+
+// Result carries the measurements of one run.
+type Result = core.Result
+
+// Op is one instruction-stream element: a memory operation preceded by
+// a count of non-memory instructions.
+type Op = trace.Op
+
+// Memory operation kinds.
+const (
+	Load       = trace.Load
+	Store      = trace.Store
+	SWPrefetch = trace.SWPrefetch
+)
+
+// Generator produces an instruction stream.
+type Generator = trace.Generator
+
+// WorkloadParams are the knobs of the synthetic workload generator.
+type WorkloadParams = workload.Params
+
+// Profile is a named, calibrated benchmark configuration.
+type Profile = workload.Profile
+
+// Region prefetch prioritization policies (Section 4.2).
+const (
+	FIFO = prefetch.FIFO
+	LIFO = prefetch.LIFO
+)
+
+// L2 insertion priorities for prefetched blocks (Section 4.1).
+const (
+	InsertMRU  = cache.MRU
+	InsertSMRU = cache.SMRU
+	InsertSLRU = cache.SLRU
+	InsertLRU  = cache.LRU
+)
+
+// DRDRAM timing parts (Section 4.6).
+var (
+	Part800x40 = dram.Part800x40
+	Part800x50 = dram.Part800x50
+	Part800x34 = dram.Part800x34
+)
+
+// BaseConfig returns the paper's base system (Section 3.1): 1.6 GHz
+// 4-wide core, 64KB L1, 1MB 4-way L2 with 64-byte blocks, four DRDRAM
+// channels, straightforward address mapping, no prefetching.
+func BaseConfig() Config { return core.Base() }
+
+// TunedConfig returns the paper's best system: the base configuration
+// with the XOR address mapping and tuned scheduled region prefetching
+// (4KB regions, LIFO prioritization, bank-aware scheduling, LRU
+// insertion).
+func TunedConfig() Config { return core.Tuned() }
+
+// TunedPrefetch returns the Section 4 tuned prefetch configuration by
+// itself, for composing with a custom Config.
+func TunedPrefetch() PrefetchConfig { return core.TunedPrefetch() }
+
+// Run simulates gen on cfg to completion.
+func Run(cfg Config, gen Generator) (Result, error) {
+	sys, err := core.New(cfg, gen)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run()
+}
+
+// Benchmarks lists the 26 synthetic SPEC CPU2000 stand-in workloads in
+// suite order.
+func Benchmarks() []string { return workload.Names() }
+
+// Profiles returns all calibrated benchmark profiles.
+func Profiles() []Profile { return workload.Profiles() }
+
+// Workload builds the named benchmark's instruction stream. seed
+// selects an independent sample; swPrefetch enables software-prefetch
+// instruction emission (the paper's simulator discards them by
+// default).
+func Workload(name string, seed uint64, swPrefetch bool) (Generator, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generator(seed, swPrefetch)
+}
+
+// CustomWorkload builds an instruction stream from explicit parameters.
+func CustomWorkload(params WorkloadParams, seed uint64, swPrefetch bool) (Generator, error) {
+	return workload.NewGenerator(params, seed, swPrefetch)
+}
+
+// Trace replays a fixed sequence of operations; it is the simplest way
+// to drive the simulator with a hand-built or captured stream.
+func Trace(ops []Op) Generator { return trace.NewSlice(ops) }
+
+// WriteTraceFile captures up to n operations from gen into w using the
+// compact binary trace format (see cmd/tracegen). It reports how many
+// operations were written.
+func WriteTraceFile(w io.Writer, gen Generator, n uint64) (uint64, error) {
+	return trace.WriteFile(w, gen, n)
+}
+
+// ReadTraceFile replays a trace captured by WriteTraceFile.
+func ReadTraceFile(r io.Reader) (Generator, error) {
+	return trace.NewFileReader(r)
+}
+
+// RunBenchmark is a convenience wrapper: simulate the named benchmark
+// on cfg.
+func RunBenchmark(cfg Config, name string) (Result, error) {
+	gen, err := Workload(name, 0, cfg.SoftwarePrefetch)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(cfg, gen)
+}
