@@ -22,12 +22,16 @@ import (
 func main() {
 	opt := experiments.Defaults()
 	var (
-		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
-		seed   = flag.Uint64("seed", 0, "workload sample seed offset")
-		instrs = flag.Uint64("instrs", opt.Instrs, "measured instructions per run")
-		warmup = flag.Uint64("warmup", opt.Warmup, "warmup instructions per run")
+		run      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
+		seed     = flag.Uint64("seed", 0, "workload sample seed offset")
+		instrs   = flag.Uint64("instrs", opt.Instrs, "measured instructions per run")
+		warmup   = flag.Uint64("warmup", opt.Warmup, "warmup instructions per run")
+		paranoid = flag.Bool("paranoid", false,
+			"enable cross-layer invariant checking on every run")
+		watchdog = flag.Int64("watchdog-cycles", 0,
+			"abort a run after this many core cycles without forward progress (0 = off)")
 	)
 	flag.Parse()
 
@@ -41,6 +45,8 @@ func main() {
 	opt.Instrs = *instrs
 	opt.Warmup = *warmup
 	opt.Seed = *seed
+	opt.Harden.Paranoid = *paranoid
+	opt.Harden.WatchdogCycles = *watchdog
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -47,6 +47,11 @@ func main() {
 		warmup   = flag.Uint64("warmup", 1_500_000, "warmup instructions before measurement")
 		seed     = flag.Uint64("seed", 0, "workload sample seed offset")
 		clock    = flag.Float64("ghz", 1.6, "core clock in GHz")
+		paranoid = flag.Bool("paranoid", false, "enable cross-layer invariant checking")
+		watchdog = flag.Int64("watchdog-cycles", 1_000_000,
+			"abort after this many core cycles without forward progress (0 = off)")
+		injectSpec = flag.String("inject", "",
+			"inject a fault: class[:after], e.g. drop-completion:10 (see DESIGN.md)")
 	)
 	flag.Parse()
 
@@ -111,6 +116,14 @@ func main() {
 			fatal(fmt.Errorf("unknown insertion priority %q", *insert))
 		}
 	}
+
+	cfg.Harden.Paranoid = *paranoid
+	cfg.Harden.WatchdogCycles = *watchdog
+	plan, err := memsim.ParseInject(*injectSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Harden.Inject = plan
 
 	gen, err := memsim.Workload(*bench, *seed, *swpf)
 	if err != nil {

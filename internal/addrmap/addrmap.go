@@ -98,6 +98,12 @@ type Mapper interface {
 	// Map returns the coordinate of the logical column containing
 	// addr. Addresses beyond capacity wrap.
 	Map(addr uint64) Coord
+	// Unmap is the exact inverse of Map: it returns the unit-aligned
+	// physical address of the logical column at the coordinate, so
+	// Map(Unmap(c)) == c and Unmap(Map(a)) == a for unit-aligned
+	// in-capacity a. Diagnostics use it to name the address behind a
+	// misbehaving bank; the fuzz harness proves the bijection.
+	Unmap(c Coord) uint64
 	// Geometry reports the memory system shape.
 	Geometry() Geometry
 }
@@ -118,6 +124,23 @@ func split(g Geometry, addr uint64) fields {
 		col:  int(colIdx % dram.ColumnsPerRow),
 		rest: colIdx / dram.ColumnsPerRow,
 	}
+}
+
+// join is the inverse of split: it reassembles the unit-aligned
+// physical address from the column field and the policy-packed rest.
+func join(g Geometry, col int, rest uint64) uint64 {
+	colIdx := rest*dram.ColumnsPerRow + uint64(col&(dram.ColumnsPerRow-1))
+	return colIdx * g.UnitBytes() % g.Capacity()
+}
+
+// wrap masks coordinate fields to their legal ranges so Unmap is total
+// over arbitrary Coord values, mirroring Map's wrapping of addresses.
+func wrap(g Geometry, c Coord) Coord {
+	c.Device &= g.DevicesPerChannel - 1
+	c.Bank &= dram.BanksPerDevice - 1
+	c.Row &= dram.RowsPerBank - 1
+	c.Col &= dram.ColumnsPerRow - 1
+	return c
 }
 
 // BaseMapper implements the Figure 3a mapping: from LSB upward,
@@ -148,6 +171,15 @@ func (m *BaseMapper) Map(addr uint64) Coord {
 	rest >>= m.g.bankBits()
 	row := int(rest & (dram.RowsPerBank - 1))
 	return Coord{Device: dev, Bank: bank, Row: row, Col: f.col}
+}
+
+// Unmap implements Mapper.
+func (m *BaseMapper) Unmap(c Coord) uint64 {
+	c = wrap(m.g, c)
+	rest := uint64(c.Device) |
+		uint64(c.Bank)<<m.g.devBits() |
+		uint64(c.Row)<<(m.g.devBits()+m.g.bankBits())
+	return join(m.g, c.Col, rest)
 }
 
 // SwapMapper implements the previously published alternative: the row
@@ -188,6 +220,19 @@ func (m *SwapMapper) Map(addr uint64) Coord {
 	col := row & (dram.ColumnsPerRow - 1)
 	row = f.col | (row &^ (dram.ColumnsPerRow - 1))
 	return Coord{Device: dev, Bank: bank, Row: row, Col: col}
+}
+
+// Unmap implements Mapper. It undoes the row/column exchange: the
+// stored row field is the coordinate's column plus the row's high bits,
+// and the stored column field is the coordinate row's low bits.
+func (m *SwapMapper) Unmap(c Coord) uint64 {
+	c = wrap(m.g, c)
+	rowStored := (c.Row &^ (dram.ColumnsPerRow - 1)) | c.Col
+	col := c.Row & (dram.ColumnsPerRow - 1)
+	rest := uint64(c.Device) |
+		uint64(c.Bank)<<m.g.devBits() |
+		uint64(rowStored)<<(m.g.devBits()+m.g.bankBits())
+	return join(m.g, col, rest)
 }
 
 // XORMapper implements the paper's improved mapping (Figure 3b): the
@@ -233,6 +278,20 @@ func (m *XORMapper) Map(addr uint64) Coord {
 	// bank[0] from its top bit.
 	bank := ((bank5 & 0xf) << 1) | (bank5 >> 4)
 	return Coord{Device: dev, Bank: bank, Row: row, Col: f.col}
+}
+
+// Unmap implements Mapper. The bank-bit rotation and the row XOR are
+// both involutions given the row, so the stored device/bank field is
+// recovered by reversing the rotation and reapplying the XOR.
+func (m *XORMapper) Unmap(c Coord) uint64 {
+	c = wrap(m.g, c)
+	db := m.g.devBits()
+	k := db + m.g.bankBits()
+	bank5 := ((c.Bank >> 1) & 0xf) | ((c.Bank & 1) << 4)
+	devbank := uint64(c.Device) | uint64(bank5)<<db
+	devbank ^= uint64(c.Row) & ((1 << k) - 1)
+	rest := devbank | uint64(c.Row)<<k
+	return join(m.g, c.Col, rest)
 }
 
 // ByName constructs the named mapper ("base", "swap", or "xor").

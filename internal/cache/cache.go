@@ -346,3 +346,38 @@ func (c *Cache) ResidentBlocks() int {
 	}
 	return n
 }
+
+// CheckIntegrity validates the recency-chain structure of every set:
+// occupancy within associativity, no invalid or duplicate lines, and
+// every line indexed into the set its address selects. The paranoid
+// invariant checker runs it periodically; a violation means the chain
+// manipulation code corrupted the cache.
+func (c *Cache) CheckIntegrity() error {
+	for si, set := range c.sets {
+		if len(set) > c.cfg.Assoc {
+			return fmt.Errorf("cache %s: set %d holds %d lines, associativity %d",
+				c.cfg.Name, si, len(set), c.cfg.Assoc)
+		}
+		for i, ln := range set {
+			if !ln.valid {
+				return fmt.Errorf("cache %s: set %d way %d holds an invalid line",
+					c.cfg.Name, si, i)
+			}
+			if got := c.setIndex(ln.block); got != uint64(si) {
+				return fmt.Errorf("cache %s: block %#x in set %d, maps to set %d",
+					c.cfg.Name, ln.block, si, got)
+			}
+			if ln.block != c.BlockAddr(ln.block) {
+				return fmt.Errorf("cache %s: unaligned block %#x in set %d",
+					c.cfg.Name, ln.block, si)
+			}
+			for j := i + 1; j < len(set); j++ {
+				if set[j].block == ln.block {
+					return fmt.Errorf("cache %s: block %#x duplicated in set %d (ways %d and %d)",
+						c.cfg.Name, ln.block, si, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 
 	"memsim/internal/sim"
 )
@@ -72,6 +73,27 @@ func (t *MSHRTable) Allocate(block uint64, prefetchOnly bool) *MSHR {
 		t.HighWater = len(t.entries)
 	}
 	return m
+}
+
+// Blocks returns the outstanding block addresses in allocation order.
+// The paranoid invariant checker compares them against the memory
+// controller's in-flight transfers.
+func (t *MSHRTable) Blocks() []uint64 {
+	out := make([]uint64, len(t.entries))
+	for i, m := range t.entries {
+		out[i] = m.Block
+	}
+	return out
+}
+
+// DebugString summarizes the table for diagnostic dumps.
+func (t *MSHRTable) DebugString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d entries (high water %d)", len(t.entries), t.capacity, t.HighWater)
+	for _, m := range t.entries {
+		fmt.Fprintf(&b, "\n  block=%#x waiters=%d prefetchOnly=%v", m.Block, len(m.Waiters), m.PrefetchOnly)
+	}
+	return b.String()
 }
 
 // Complete removes the block's entry and invokes its waiters with the

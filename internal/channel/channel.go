@@ -195,6 +195,11 @@ type Channel struct {
 	nextRefresh sim.Time
 	refreshAt   int
 
+	// stormDur, when positive, is an injected refresh storm: every
+	// access additionally consumes this much time on all three buses
+	// (see InjectRefreshStorm).
+	stormDur sim.Time
+
 	stats Stats
 }
 
@@ -272,6 +277,83 @@ func (ch *Channel) RowOpen(c addrmap.Coord) bool {
 	return ch.devices[c.Device].IsOpen(c.Bank, c.Row)
 }
 
+// stuckFar is the bank-ready timestamp used by StickBank: far enough
+// that no realistic run reaches it, small enough that adding access
+// latencies to it cannot overflow sim.Time.
+const stuckFar = sim.MaxTime / 4
+
+// StickBank freezes a bank for fault injection: its in-flight-command
+// ready time jumps to the far future, so any access touching the bank
+// resolves its data unreachably late. It models a device that stops
+// answering a bank's commands.
+func (ch *Channel) StickBank(dev, bank int) {
+	ch.bankReady[dev][bank] = stuckFar
+}
+
+// InjectRefreshStorm simulates a runaway refresh controller for fault
+// injection: from now on, every access first loses dur of time on all
+// three buses to refresh traffic, so completions recede faster than
+// consumers can chase them.
+func (ch *Channel) InjectRefreshStorm(dur sim.Time) {
+	ch.stormDur = dur
+}
+
+// SaneHorizon bounds how far beyond the current time any bus or bank
+// reservation may legitimately extend: the longest access (an 8KB
+// block is 512 logical columns) plus generous refresh interference
+// stays well under a millisecond. The paranoid checker treats a
+// reservation beyond now+SaneHorizon as corruption.
+const SaneHorizon = sim.Millisecond
+
+// CheckSane verifies that all bus free times and bank ready times lie
+// within the sanity horizon of now and are non-negative. A violation
+// means timing state was corrupted (or a fault was injected).
+func (ch *Channel) CheckSane(now sim.Time) error {
+	horizon := now + SaneHorizon
+	check := func(name string, t sim.Time) error {
+		if t < 0 {
+			return fmt.Errorf("channel: %s = %v is negative", name, t)
+		}
+		if t > horizon {
+			return fmt.Errorf("channel: %s = %v beyond sanity horizon %v", name, t, horizon)
+		}
+		return nil
+	}
+	if err := check("rowFree", ch.rowFree); err != nil {
+		return err
+	}
+	if err := check("colFree", ch.colFree); err != nil {
+		return err
+	}
+	if err := check("dataFree", ch.dataFree); err != nil {
+		return err
+	}
+	for d, banks := range ch.bankReady {
+		for b, t := range banks {
+			if err := check(fmt.Sprintf("bankReady[%d][%d]", d, b), t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DebugState summarizes timing state for diagnostic dumps, reporting
+// bus reservations relative to now and the most distant bank
+// reservation.
+func (ch *Channel) DebugState(now sim.Time) string {
+	maxDev, maxBank, maxReady := 0, 0, sim.Time(0)
+	for d, banks := range ch.bankReady {
+		for b, t := range banks {
+			if t > maxReady {
+				maxDev, maxBank, maxReady = d, b, t
+			}
+		}
+	}
+	return fmt.Sprintf("rowFree=now%+v colFree=now%+v dataFree=now%+v maxBankReady[%d][%d]=now%+v refreshes=%d",
+		ch.rowFree-now, ch.colFree-now, ch.dataFree-now, maxDev, maxBank, maxReady-now, ch.stats.Refreshes)
+}
+
 // reserveRow places one packet on the row bus no earlier than at.
 func (ch *Channel) reserveRow(at sim.Time) sim.Time {
 	t := max(at, ch.rowFree)
@@ -289,6 +371,14 @@ func (ch *Channel) Access(now sim.Time, spans []addrmap.Span, class Class, write
 		panic("channel: access with no spans")
 	}
 	ch.applyRefresh(now)
+	if ch.stormDur > 0 {
+		// Injected refresh storm: refresh traffic consumes the buses
+		// ahead of this access.
+		ch.rowFree = max(ch.rowFree, now) + ch.stormDur
+		ch.colFree = max(ch.colFree, now) + ch.stormDur
+		ch.dataFree = max(ch.dataFree, now) + ch.stormDur
+		ch.stats.Refreshes++
+	}
 	tm := ch.cfg.Timing
 	res := Result{Start: sim.MaxTime, Spans: len(spans)}
 	ch.stats.Accesses[class]++

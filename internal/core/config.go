@@ -5,10 +5,10 @@
 package core
 
 import (
-	"fmt"
-
 	"memsim/internal/cache"
 	"memsim/internal/dram"
+	"memsim/internal/harden"
+	"memsim/internal/harden/inject"
 	"memsim/internal/prefetch"
 )
 
@@ -52,6 +52,31 @@ type PrefetchConfig struct {
 	ThrottleAccuracy float64
 	// ThrottleWindow is the accuracy sampling window.
 	ThrottleWindow int
+}
+
+// HardenConfig tunes the robustness layer threaded through a run: the
+// forward-progress watchdog, the cross-layer invariant checker, and the
+// deterministic fault-injection harness that exists to prove the other
+// two catch real corruption.
+type HardenConfig struct {
+	// WatchdogCycles, when positive, aborts the run with a structured
+	// diagnostic dump (*harden.WatchdogError) if no instruction retires,
+	// no channel access issues, and no transfer completes for this many
+	// consecutive core cycles. Zero disables the watchdog.
+	WatchdogCycles int64
+	// Paranoid enables the invariant checker: every ParanoidEvery
+	// cycles the run cross-checks MSHR entries against in-flight
+	// controller transfers, cache recency-chain integrity, prefetch
+	// queue accounting, and channel timestamp sanity, aborting with a
+	// *harden.InvariantError on the first violation.
+	Paranoid bool
+	// ParanoidEvery is the check interval in core cycles; zero defaults
+	// to 4096 when Paranoid is set.
+	ParanoidEvery int64
+	// Inject arms the fault-injection harness with one deterministic
+	// corruption (see harden/inject). Runs with injection enabled are
+	// expected to fail; a clean completion means a detector is broken.
+	Inject inject.Plan
 }
 
 // Config describes one simulated system.
@@ -125,6 +150,11 @@ type Config struct {
 	// instructions; when false the simulator discards them as fetched,
 	// matching the paper's main experiments (Section 4.7).
 	SoftwarePrefetch bool
+
+	// Harden configures the robustness layer (watchdog, paranoid
+	// invariant checking, fault injection). The zero value runs with
+	// all of it off, matching the paper's measurement configurations.
+	Harden HardenConfig
 }
 
 // Base returns the paper's base configuration (Section 3.1): a 1.6 GHz
@@ -167,44 +197,115 @@ func TunedPrefetch() PrefetchConfig {
 	}
 }
 
-// Validate checks the configuration for consistency.
+// Bounds enforced by Validate beyond structural realizability. They
+// exist so that a validated Config is safe to build: allocation sizes
+// stay sane and every downstream constructor precondition holds, which
+// is what lets New promise an error instead of a panic and lets the
+// fuzz harness drive Validate with arbitrary field values.
+const (
+	maxCacheBytes = 1 << 30 // 1 GB per cache level
+	maxCacheSets  = 1 << 22 // caps the per-set slice table allocation
+	maxMSHRs      = 1024
+	maxQueueDepth = 4096 // prefetch regions / stream table / buffer blocks
+	minClockHz    = 1e3
+	maxClockHz    = 1e12
+)
+
+// Validate checks the configuration for consistency, reporting every
+// violation at once as a *harden.ConfigError. The contract with New is
+// strict: a Config that validates always builds, so callers never see
+// a panic or a late constructor error for a config-shaped problem.
 func (c Config) Validate() error {
-	if c.ClockHz <= 0 {
-		return fmt.Errorf("core: clock %v invalid", c.ClockHz)
+	var v harden.Validator
+
+	// NaN fails every comparison, so these Checks also reject it.
+	v.Check(c.ClockHz >= minClockHz && c.ClockHz <= maxClockHz,
+		"ClockHz", c.ClockHz, "must be a finite rate in [%g, %g] Hz", float64(minClockHz), float64(maxClockHz))
+	v.Range("Width", int64(c.Width), 1, 64)
+	v.Range("ROBSize", int64(c.ROBSize), 1, 1<<20)
+	v.Range("StoreBuffer", int64(c.StoreBuffer), 1, 1<<20)
+	v.Check(c.SustainedIPC >= 0 && c.SustainedIPC <= 1024,
+		"SustainedIPC", c.SustainedIPC, "must be in [0, 1024]")
+
+	v.Pow2("L1Block", c.L1Block)
+	v.Pow2("L2Block", c.L2Block)
+	v.Check(c.L2Block >= c.L1Block, "L2Block", c.L2Block,
+		"must be >= L1Block (%d): an L1 line must fit inside the L2 line that backs it", c.L1Block)
+	v.Check(c.L2Size >= c.L1Size, "L2Size", c.L2Size,
+		"must be >= L1Size (%d) for the hierarchy's inclusion assumption", c.L1Size)
+	v.Range("L1HitCycles", int64(c.L1HitCycles), 0, 1000)
+	v.Range("L2HitCycles", int64(c.L2HitCycles), 1, 10000)
+	v.Range("MSHRs", int64(c.MSHRs), 1, maxMSHRs)
+	validateCache(&v, "L1", cache.Config{Name: "L1", SizeBytes: c.L1Size, Assoc: c.L1Assoc, BlockBytes: c.L1Block})
+	validateCache(&v, "L2", cache.Config{Name: "L2", SizeBytes: c.L2Size, Assoc: c.L2Assoc, BlockBytes: c.L2Block})
+
+	v.Pow2("Channels", c.Channels)
+	v.Range("Channels", int64(c.Channels), 1, 64)
+	v.Pow2("DevicesPerChannel", c.DevicesPerChannel)
+	v.Range("DevicesPerChannel", int64(c.DevicesPerChannel), 1, 64)
+	switch c.Mapping {
+	case "base", "swap", "xor":
+	default:
+		v.Reject("Mapping", c.Mapping, `must be one of "base", "swap", "xor"`)
 	}
-	if c.L1Block <= 0 || c.L2Block < c.L1Block {
-		return fmt.Errorf("core: L2 block %d must be >= L1 block %d", c.L2Block, c.L1Block)
-	}
-	if c.MSHRs <= 0 {
-		return fmt.Errorf("core: MSHRs %d invalid", c.MSHRs)
-	}
-	if c.L1HitCycles < 0 || c.L2HitCycles <= 0 {
-		return fmt.Errorf("core: hit latencies invalid")
-	}
-	if c.PerfectL2 && c.PerfectMem {
-		return fmt.Errorf("core: PerfectL2 and PerfectMem are mutually exclusive")
-	}
+	v.Check(c.Timing.Packet > 0, "Timing", c.Timing.Name, "part has no packet time")
+	v.Check(c.Timing.PRER >= 0 && c.Timing.ACT >= 0 && c.Timing.CAC >= 0,
+		"Timing", c.Timing.Name, "part has a negative command latency")
 	switch c.Interleaving {
 	case "", "ganged", "independent":
 	default:
-		return fmt.Errorf("core: unknown interleaving %q", c.Interleaving)
+		v.Reject("Interleaving", c.Interleaving, `must be one of "", "ganged", "independent"`)
 	}
+	v.Range("ReorderWindow", int64(c.ReorderWindow), 0, 1024)
+
+	v.Check(!(c.PerfectL2 && c.PerfectMem), "PerfectL2", c.PerfectL2,
+		"PerfectL2 and PerfectMem are mutually exclusive")
+
 	if c.Prefetch.Enabled {
-		switch c.Prefetch.Scheme {
+		p := c.Prefetch
+		switch p.Scheme {
 		case "", "region":
-			if c.Prefetch.RegionBytes < c.L2Block {
-				return fmt.Errorf("core: prefetch region %d smaller than L2 block %d", c.Prefetch.RegionBytes, c.L2Block)
-			}
-			if c.Prefetch.QueueDepth <= 0 {
-				return fmt.Errorf("core: prefetch queue depth %d invalid", c.Prefetch.QueueDepth)
-			}
+			v.Merge("Prefetch", prefetch.Config{
+				RegionBytes:      p.RegionBytes,
+				BlockBytes:       c.L2Block,
+				QueueDepth:       p.QueueDepth,
+				Policy:           p.Policy,
+				ThrottleAccuracy: p.ThrottleAccuracy,
+				ThrottleWindow:   p.ThrottleWindow,
+			}.Validate())
+			v.Range("Prefetch.RegionBytes", int64(p.RegionBytes), 1, 1<<24)
+			v.Range("Prefetch.QueueDepth", int64(p.QueueDepth), 1, maxQueueDepth)
 		case "sequential", "stream":
-			if c.Prefetch.Lookahead <= 0 {
-				return fmt.Errorf("core: %s prefetch lookahead %d invalid", c.Prefetch.Scheme, c.Prefetch.Lookahead)
-			}
+			v.Range("Prefetch.Lookahead", int64(p.Lookahead), 1, 1024)
+			v.Range("Prefetch.TableSize", int64(p.TableSize), 0, maxQueueDepth)
 		default:
-			return fmt.Errorf("core: unknown prefetch scheme %q", c.Prefetch.Scheme)
+			v.Reject("Prefetch.Scheme", p.Scheme, `must be one of "", "region", "sequential", "stream"`)
 		}
+		v.Range("Prefetch.Insert", int64(p.Insert), int64(cache.MRU), int64(cache.LRU))
+		v.Range("Prefetch.BufferBlocks", int64(p.BufferBlocks), 0, maxQueueDepth)
+		v.Range("Prefetch.ThrottleWindow", int64(p.ThrottleWindow), 0, 1<<20)
+		v.Check(p.ThrottleAccuracy >= 0 && p.ThrottleAccuracy <= 1,
+			"Prefetch.ThrottleAccuracy", p.ThrottleAccuracy, "must be in [0, 1]")
 	}
-	return nil
+
+	v.Check(c.Harden.WatchdogCycles >= 0, "Harden.WatchdogCycles", c.Harden.WatchdogCycles, "must be >= 0")
+	v.Check(c.Harden.ParanoidEvery >= 0, "Harden.ParanoidEvery", c.Harden.ParanoidEvery, "must be >= 0")
+	v.Merge("Harden.Inject", c.Harden.Inject.Validate())
+
+	return v.Err()
+}
+
+// validateCache folds one cache shape's realizability into the pass and
+// bounds its allocation footprint.
+func validateCache(v *harden.Validator, prefix string, cc cache.Config) {
+	if err := cc.Validate(); err != nil {
+		v.Reject(prefix+"Size", cc.SizeBytes, "%v", err)
+		return
+	}
+	if cc.SizeBytes > maxCacheBytes {
+		v.Reject(prefix+"Size", cc.SizeBytes, "exceeds %d bytes", int64(maxCacheBytes))
+	}
+	if sets := cc.NumSets(); sets > maxCacheSets {
+		v.Reject(prefix+"Size", cc.SizeBytes, "implies %d sets; max %d", sets, maxCacheSets)
+	}
 }

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"memsim/internal/channel"
+	"memsim/internal/harden"
+	"memsim/internal/harden/inject"
+	"memsim/internal/memctrl"
+)
+
+// defaultParanoidEvery is the invariant-check interval, in core cycles,
+// when paranoid mode is on but no interval was configured. Checks are
+// read-only and O(system state), so a few thousand cycles keeps the
+// overhead low while still bounding how long corruption can fester.
+const defaultParanoidEvery = 4096
+
+// stormSlice is the bus time one injected refresh-storm burns per
+// channel access: twice the channel sanity horizon, so the invariant
+// checker flags the very first stormed access and the watchdog sees
+// whole windows pass between completions.
+const stormSlice = 2 * channel.SaneHorizon
+
+// armHarden wires the configured robustness hooks into a freshly built
+// system: the fault injector, the forward-progress watchdog, and the
+// paranoid invariant checker. All hooks are read-only with respect to
+// simulation state (the injector's whole point is to mutate it, but
+// only when armed), so an unarmed run is bit-identical to one that
+// never called this.
+func (s *System) armHarden() {
+	h := s.cfg.Harden
+	if h.Inject.Enabled() {
+		s.inj = inject.New(h.Inject)
+	}
+
+	if h.WatchdogCycles > 0 {
+		wd := harden.NewWatchdog()
+		window := s.clock.Cycles(h.WatchdogCycles)
+		s.sched.Every(window, func() bool {
+			if s.fatal != nil || s.core.Done() {
+				return false
+			}
+			p := s.progress()
+			if !wd.Observe(p) {
+				s.fatal = &harden.WatchdogError{
+					Now:          s.sched.Now(),
+					WindowCycles: h.WatchdogCycles,
+					Progress:     p,
+					Dump:         s.dump(),
+				}
+				return false
+			}
+			return true
+		})
+	}
+
+	if h.Paranoid {
+		for _, c := range s.ctrls {
+			c.EnableTracking()
+		}
+		every := h.ParanoidEvery
+		if every <= 0 {
+			every = defaultParanoidEvery
+		}
+		interval := s.clock.Cycles(every)
+		s.sched.Every(interval, func() bool {
+			if s.fatal != nil || s.core.Done() {
+				return false
+			}
+			if vs := s.checkInvariants(); len(vs) > 0 {
+				s.fatal = &harden.InvariantError{
+					Now:        s.sched.Now(),
+					Violations: vs,
+					Dump:       s.dump(),
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// progress snapshots the three forward-progress counters the watchdog
+// compares across windows: any one advancing means the system is alive.
+func (s *System) progress() harden.Progress {
+	var issued uint64
+	for _, c := range s.ctrls {
+		st := c.Stats()
+		for _, n := range st.Issued {
+			issued += n
+		}
+	}
+	return harden.Progress{
+		Retired:     s.core.Stats().Retired,
+		Issued:      issued,
+		Completions: s.completions,
+	}
+}
+
+// checkInvariants runs the paranoid cross-layer accounting checks and
+// returns every violation found, in deterministic order.
+func (s *System) checkInvariants() []string {
+	var vs []string
+	add := func(format string, args ...any) { vs = append(vs, fmt.Sprintf(format, args...)) }
+
+	if err := s.l1.CheckIntegrity(); err != nil {
+		add("L1: %v", err)
+	}
+	if err := s.l2.CheckIntegrity(); err != nil {
+		add("L2: %v", err)
+	}
+	if s.pfbuffer != nil {
+		if err := s.pfbuffer.CheckIntegrity(); err != nil {
+			add("pfbuffer: %v", err)
+		}
+	}
+
+	// Every outstanding demand miss must have a transfer queued or in
+	// flight at its controller; an MSHR entry with nothing behind it
+	// will never drain and silently eats miss capacity.
+	for _, block := range s.mshrs.Blocks() {
+		g := s.group(block)
+		if !s.ctrls[g].HasPending(s.localAddr(block)) {
+			add("MSHR block %#x has no queued or in-flight transfer at controller %d", block, g)
+		}
+	}
+
+	// Likewise every in-flight prefetch fill.
+	pfBlocks := make([]uint64, 0, len(s.inflight))
+	for b := range s.inflight {
+		pfBlocks = append(pfBlocks, b)
+	}
+	slices.Sort(pfBlocks)
+	for _, b := range pfBlocks {
+		g := s.group(b)
+		if !s.ctrls[g].HasPending(s.localAddr(b)) {
+			add("prefetch fill %#x has no queued or in-flight transfer at controller %d", b, g)
+		}
+	}
+
+	if ic, ok := s.pf.(interface{ CheckIntegrity() error }); ok {
+		if err := ic.CheckIntegrity(); err != nil {
+			add("prefetch: %v", err)
+		}
+	}
+
+	now := s.sched.Now()
+	for g, ch := range s.chns {
+		if err := ch.CheckSane(now); err != nil {
+			add("channel %d: %v", g, err)
+		}
+	}
+	return vs
+}
+
+// dump renders the structured diagnostic state attached to every
+// hardening failure: enough of each layer to see where requests piled
+// up without attaching a debugger to a finished run.
+func (s *System) dump() string {
+	var r harden.Report
+	now := s.sched.Now()
+	r.Section("sim")
+	r.Linef("now=%v events=%d", now, s.sched.EventsFired())
+	r.Section("cpu")
+	r.Linef("%s", s.core.DebugState())
+	r.Section("mshrs")
+	r.Linef("%s", s.mshrs.DebugString())
+	for g := range s.ctrls {
+		r.Section(fmt.Sprintf("memctrl[%d]", g))
+		r.Linef("%s", s.ctrls[g].DebugState(now))
+		r.Linef("channel: %s", s.chns[g].DebugState(now))
+	}
+	if s.pf != nil {
+		r.Section("prefetch")
+		r.Linef("inflight=%d stats=%+v", len(s.inflight), s.pf.Stats())
+	}
+	if s.inj != nil {
+		r.Section("inject")
+		r.Linef("plan=%s fired=%d", s.inj.Plan(), s.inj.Fired())
+	}
+	return r.String()
+}
+
+// injectOnSubmit applies the submission-domain faults to a demand
+// request about to enter controller g. r.Addr is already group-local.
+func (s *System) injectOnSubmit(g int, r *memctrl.Request) {
+	if s.inj.Tick(inject.StuckBank) {
+		c := s.maprs[g].Map(r.Addr)
+		s.chns[g].StickBank(c.Device, c.Bank)
+	}
+	if s.inj.Tick(inject.RefreshStorm) {
+		for _, ch := range s.chns {
+			ch.InjectRefreshStorm(stormSlice)
+		}
+	}
+	if s.inj.Tick(inject.PhantomMSHR) && !s.mshrs.Full() {
+		// s.capacity is block-aligned and one past the highest real
+		// address, so the phantom entry can never be completed by a
+		// legitimate fill.
+		s.mshrs.Allocate(s.capacity, false)
+	}
+}
+
+// recoverCorruption converts a panic escaping the event loop into a
+// structured CorruptionError carrying the diagnostic dump. Building the
+// dump can itself touch the corrupted state, so it too is guarded.
+func (s *System) recoverCorruption(p any) error {
+	dump := func() (d string) {
+		defer func() {
+			if recover() != nil {
+				d = "(dump unavailable: state too corrupted)"
+			}
+		}()
+		return s.dump()
+	}()
+	return &harden.CorruptionError{PanicValue: p, Now: s.sched.Now(), Dump: dump}
+}
+
+// Fatal reports the hardening error that aborted the run, if any.
+func (s *System) Fatal() error { return s.fatal }

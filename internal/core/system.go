@@ -7,6 +7,7 @@ import (
 	"memsim/internal/cache"
 	"memsim/internal/channel"
 	"memsim/internal/cpu"
+	"memsim/internal/harden/inject"
 	"memsim/internal/memctrl"
 	"memsim/internal/prefetch"
 	"memsim/internal/sim"
@@ -47,6 +48,13 @@ type System struct {
 	inflight map[uint64]*pfFill // prefetch fills in flight, by L2 block
 
 	capacity uint64
+
+	// Hardening state (see harden.go): the armed fault injector (nil
+	// when injection is off), the first fatal hardening error, and the
+	// completion counter feeding the watchdog's progress snapshot.
+	inj         *inject.Injector
+	fatal       error
+	completions uint64
 
 	// System-level statistics.
 	lateMerges      uint64 // demand misses merged into in-flight prefetches
@@ -197,6 +205,7 @@ func New(cfg Config, gen trace.Generator) (*System, error) {
 		s.core.Milestone = cfg.WarmupInstrs
 		s.core.OnMilestone = s.snapshotBaseline
 	}
+	s.armHarden()
 	return s, nil
 }
 
@@ -225,6 +234,9 @@ func (s *System) localAddr(addr uint64) uint64 {
 func (s *System) submit(r *memctrl.Request) {
 	g := s.group(r.Addr)
 	r.Addr = s.localAddr(r.Addr)
+	if s.inj != nil && r.Class == channel.Demand {
+		s.injectOnSubmit(g, r)
+	}
 	s.ctrls[g].Submit(r)
 }
 
@@ -261,9 +273,21 @@ func (s *System) snapshotBaseline() {
 }
 
 // Run executes the workload to completion and returns the collected
-// results.
-func (s *System) Run() (Result, error) {
-	s.sched.RunWhile(func() bool { return !s.core.Done() })
+// results. Hardening failures surface as typed errors: a watchdog
+// abort as *harden.WatchdogError, an invariant violation as
+// *harden.InvariantError, and an internal-bug panic escaping the event
+// loop (e.g. a duplicate MSHR fill) as *harden.CorruptionError with the
+// same diagnostic dump attached.
+func (s *System) Run() (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = Result{}, s.recoverCorruption(p)
+		}
+	}()
+	s.sched.RunWhile(func() bool { return s.fatal == nil && !s.core.Done() })
+	if s.fatal != nil {
+		return Result{}, s.fatal
+	}
 	if !s.core.Done() {
 		return Result{}, fmt.Errorf("core: simulation deadlocked at %v with %d events fired",
 			s.sched.Now(), s.sched.EventsFired())
@@ -370,9 +394,21 @@ func (h *hierarchy) Access(addr uint64, kind trace.Kind, complete func(sim.Time)
 			}
 		},
 		OnComplete: func(at sim.Time) {
-			s.installL2(block, write, false)
-			s.mshrs.Complete(block, at)
-			s.core.Wake()
+			if s.inj.Tick(inject.DropCompletion) {
+				return // the fill is lost; the MSHR entry leaks
+			}
+			deliver := func() {
+				s.installL2(block, write, false)
+				s.mshrs.Complete(block, at)
+				s.core.Wake()
+			}
+			deliver()
+			s.completions++
+			if s.inj.Tick(inject.DuplicateFill) {
+				// The second Complete panics on the unknown block; Run
+				// recovers it into a CorruptionError.
+				deliver()
+			}
 		},
 	})
 	return cpu.Reply{Accepted: true}
@@ -503,6 +539,7 @@ func (s *System) makePrefetchRequest(block uint64) (*memctrl.Request, bool) {
 		Size:  uint64(s.cfg.L2Block),
 		Class: channel.Prefetch,
 		OnComplete: func(at sim.Time) {
+			s.completions++
 			delete(s.inflight, block)
 			s.installL2(block, false, !fill.demand)
 			if fill.demand && s.pf != nil {
@@ -546,6 +583,7 @@ func (s *System) softwarePrefetch(addr uint64) cpu.Reply {
 		Size:  uint64(s.cfg.L2Block),
 		Class: channel.Demand, // software prefetches compete like loads
 		OnComplete: func(at sim.Time) {
+			s.completions++
 			s.installL2(block, false, true)
 			s.mshrs.Complete(block, at)
 			s.core.Wake()

@@ -102,7 +102,11 @@ func TestIPCNeverExceedsWidth(t *testing.T) {
 func TestMaxInstrsBudget(t *testing.T) {
 	s := sim.NewScheduler()
 	mem := &fixedMemory{sched: s, latency: testClock.Cycles(1)}
-	c, _ := New(s, mem, trace.NewRepeat(computeOps(4)), cfg(1000))
+	gen, err := trace.NewRepeat(computeOps(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := New(s, mem, gen, cfg(1000))
 	run(t, s, c)
 	if got := c.Stats().Retired; got != 1000 {
 		t.Fatalf("retired = %d, want budget 1000", got)

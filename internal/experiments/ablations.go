@@ -29,7 +29,7 @@ func (r *Runner) RegionSize() (*RegionSizeResult, error) {
 		return nil, err
 	}
 
-	res := &RegionSizeResult{Sizes: RegionSizes, NoPF: stats.HarmonicMean(ipcs(baseRes))}
+	res := &RegionSizeResult{Sizes: RegionSizes, NoPF: hmean(ipcs(baseRes))}
 	for _, sz := range RegionSizes {
 		cfg := base
 		cfg.Prefetch = core.TunedPrefetch()
@@ -38,7 +38,7 @@ func (r *Runner) RegionSize() (*RegionSizeResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.IPC = append(res.IPC, stats.HarmonicMean(ipcs(results)))
+		res.IPC = append(res.IPC, hmean(ipcs(results)))
 	}
 	return res, nil
 }
@@ -83,7 +83,7 @@ func (r *Runner) QueueDepth() (*QueueDepthResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.IPC = append(res.IPC, stats.HarmonicMean(ipcs(results)))
+		res.IPC = append(res.IPC, hmean(ipcs(results)))
 	}
 	return res, nil
 }
@@ -141,8 +141,8 @@ func (r *Runner) Throttle() (*ThrottleResult, error) {
 	}
 
 	res := &ThrottleResult{
-		TunedIPC:     stats.HarmonicMean(ipcs(tunedRes)),
-		ThrottledIPC: stats.HarmonicMean(ipcs(thrRes)),
+		TunedIPC:     hmean(ipcs(tunedRes)),
+		ThrottledIPC: hmean(ipcs(thrRes)),
 	}
 	var du1, du2 []float64
 	for i, b := range r.opt.Benchmarks {

@@ -71,12 +71,12 @@ func (r *Runner) AddrMap() (*AddrMapResult, error) {
 			Mapping:      m,
 			ReadHit:      stats.Mean(reads),
 			WritebackHit: stats.Mean(wbs),
-			MeanIPC:      stats.HarmonicMean(ipcs(results)),
+			MeanIPC:      hmean(ipcs(results)),
 		})
 	}
 
 	base, xor := byMapping["base"], byMapping["xor"]
-	res.XORSpeedup = stats.HarmonicMean(ipcs(xor)) / stats.HarmonicMean(ipcs(base))
+	res.XORSpeedup = hmean(ipcs(xor)) / hmean(ipcs(base))
 	for i, b := range r.opt.Benchmarks {
 		res.TopGainers = append(res.TopGainers, BenchSpeedup{
 			Bench:   b,

@@ -1,0 +1,38 @@
+package experiments
+
+import "memsim/internal/stats"
+
+// The experiment tables aggregate IPCs and miss rates that come
+// straight out of completed simulations, so the boundary errors the
+// stats package reports (non-positive rates, empty slices) can only
+// mean a broken measurement pipeline here — an internal bug. These
+// wrappers keep the table builders readable by converting those errors
+// back into the panic they would have been before stats grew error
+// returns.
+
+// hmean is the harmonic mean of a set of simulated rates.
+func hmean(xs []float64) float64 {
+	m, err := stats.HarmonicMean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// minIdx is the index of the smallest element.
+func minIdx(xs []float64) int {
+	i, _, err := stats.Min(xs)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// maxIdx is the index of the largest element.
+func maxIdx(xs []float64) int {
+	i, _, err := stats.Max(xs)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}

@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"memsim/internal/core"
-	"memsim/internal/stats"
 )
 
 // CacheSizesMB is the L2 capacity sweep of Section 4.5.
@@ -40,8 +39,8 @@ func (r *Runner) CacheSize() (*CacheSizeResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.BaseIPC = append(res.BaseIPC, stats.HarmonicMean(ipcs(baseRes)))
-		res.PFIPC = append(res.PFIPC, stats.HarmonicMean(ipcs(pfRes)))
+		res.BaseIPC = append(res.BaseIPC, hmean(ipcs(baseRes)))
+		res.PFIPC = append(res.PFIPC, hmean(ipcs(pfRes)))
 	}
 	for i := range CacheSizesMB {
 		res.BaseSpeedup = append(res.BaseSpeedup, res.BaseIPC[i]/res.BaseIPC[0])

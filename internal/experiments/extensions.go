@@ -57,7 +57,7 @@ func (r *Runner) Reorder() (*ReorderResult, error) {
 		}
 		res.Rows = append(res.Rows, ReorderRow{
 			Name:      c.name,
-			MeanIPC:   stats.HarmonicMean(ipcs(results)),
+			MeanIPC:   hmean(ipcs(results)),
 			ReadHit:   stats.Mean(hits),
 			Reordered: reordered,
 		})
@@ -108,7 +108,7 @@ func (r *Runner) Refresh() (*RefreshResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			hm := stats.HarmonicMean(ipcs(results))
+			hm := hmean(ipcs(results))
 			switch {
 			case !pf && !refresh:
 				res.BaseIPC = hm

@@ -72,9 +72,9 @@ func (r *Runner) Fig1() (*Fig1Result, error) {
 		return res.Rows[i].L2StallFraction() > res.Rows[j].L2StallFraction()
 	})
 
-	hmReal := stats.HarmonicMean(ipcs(real))
-	hmPL2 := stats.HarmonicMean(ipcs(perfL2))
-	hmPM := stats.HarmonicMean(ipcs(perfMem))
+	hmReal := hmean(ipcs(real))
+	hmPL2 := hmean(ipcs(perfL2))
+	hmPM := hmean(ipcs(perfMem))
 	memLost := stats.LostFraction(hmReal, hmPM)
 	l2Lost := stats.LostFraction(hmReal, hmPL2)
 	res.L2Stall = l2Lost

@@ -102,11 +102,11 @@ func (r *Runner) Fig5() (*Fig5Result, error) {
 		return out
 	}
 	if len(winnerIdx) > 0 {
-		hmBase4 := stats.HarmonicMean(pick(all[0]))
-		hmXOR4 := stats.HarmonicMean(pick(all[1]))
-		hmPF4 := stats.HarmonicMean(pick(all[2]))
-		hmPF8 := stats.HarmonicMean(pick(all[4]))
-		hmPL2 := stats.HarmonicMean(pick(all[5]))
+		hmBase4 := hmean(pick(all[0]))
+		hmXOR4 := hmean(pick(all[1]))
+		hmPF4 := hmean(pick(all[2]))
+		hmPF8 := hmean(pick(all[4]))
+		hmPL2 := hmean(pick(all[5]))
 		res.XORSpeedup4 = hmXOR4 / hmBase4
 		res.PFSpeedup4 = hmPF4 / hmXOR4
 		res.PF8Speedup = hmPF8 / hmBase4

@@ -50,7 +50,7 @@ func (r *Runner) Interleave() (*InterleaveResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := InterleaveRow{Name: c.name, MeanIPC: stats.HarmonicMean(ipcs(results))}
+		row := InterleaveRow{Name: c.name, MeanIPC: hmean(ipcs(results))}
 		var utils []float64
 		for i, b := range r.opt.Benchmarks {
 			utils = append(utils, results[i].DataUtilization())

@@ -7,7 +7,6 @@ import (
 
 	"memsim/internal/core"
 	"memsim/internal/dram"
-	"memsim/internal/stats"
 )
 
 // latSensParts lists the DRDRAM parts of the Section 4.6 sensitivity
@@ -42,8 +41,8 @@ func (r *Runner) LatSens() (*LatSensResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		hmB := stats.HarmonicMean(ipcs(baseRes))
-		hmP := stats.HarmonicMean(ipcs(pfRes))
+		hmB := hmean(ipcs(baseRes))
+		hmP := hmean(ipcs(pfRes))
 		res.Parts = append(res.Parts, part.Name)
 		res.Base = append(res.Base, hmB)
 		res.PF = append(res.PF, hmP)

@@ -7,7 +7,6 @@ import (
 
 	"memsim/internal/cache"
 	"memsim/internal/core"
-	"memsim/internal/stats"
 )
 
 // PollutionRow is one pollution-control mechanism.
@@ -83,7 +82,7 @@ func (r *Runner) Pollution() (*PollutionResult, error) {
 		}
 		res.Rows = append(res.Rows, PollutionRow{
 			Name:      c.name,
-			MeanIPC:   stats.HarmonicMean(ipcs(results)),
+			MeanIPC:   hmean(ipcs(results)),
 			LowAccIPC: harmonicOrZero(lowIPC),
 		})
 	}

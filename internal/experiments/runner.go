@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"memsim/internal/core"
+	"memsim/internal/harden/inject"
 	"memsim/internal/workload"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// Seed offsets every workload's deterministic seed, selecting an
 	// independent sample.
 	Seed uint64
+	// Harden applies the robustness layer (watchdog, paranoid
+	// invariant checking) to every run in the batch. Fault injection is
+	// deliberately excluded: injected runs are expected to fail, which
+	// would abort a whole experiment batch.
+	Harden core.HardenConfig
 }
 
 // Defaults returns the options used by cmd/experiments: half a million
@@ -118,6 +124,8 @@ func (r *Runner) runOne(sp spec) (core.Result, error) {
 	cfg := sp.cfg
 	cfg.MaxInstrs = r.opt.Instrs
 	cfg.WarmupInstrs = r.opt.Warmup
+	cfg.Harden = r.opt.Harden
+	cfg.Harden.Inject = inject.Plan{} // never inject into experiment batches
 	sys, err := core.New(cfg, gen)
 	if err != nil {
 		return core.Result{}, err

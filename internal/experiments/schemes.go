@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"memsim/internal/core"
-	"memsim/internal/stats"
 )
 
 // SchemeRow summarizes one prefetch address-generation scheme.
@@ -84,10 +83,10 @@ func (r *Runner) Schemes() (*SchemesResult, error) {
 		}
 		row := SchemeRow{
 			Scheme:  c.name,
-			MeanIPC: stats.HarmonicMean(ipcs(results)),
+			MeanIPC: hmean(ipcs(results)),
 		}
 		if w := winnerIPCs(results); len(w) > 0 {
-			row.WinnerIPC = stats.HarmonicMean(w)
+			row.WinnerIPC = hmean(w)
 		}
 		if i == 0 {
 			baseMean, baseWinner = row.MeanIPC, row.WinnerIPC

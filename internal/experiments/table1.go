@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"memsim/internal/core"
-	"memsim/internal/stats"
 )
 
 // BlockSizes is the L2 block-size sweep of Section 3.2 (64 bytes to
@@ -66,8 +65,8 @@ func (r *Runner) Table1() (*Table1Result, error) {
 			row.MissRates = append(row.MissRates, rr.L2MissRate())
 			row.IPCs = append(row.IPCs, rr.IPC)
 		}
-		pi, _ := stats.Min(row.MissRates)
-		gi, _ := stats.Max(row.IPCs)
+		pi := minIdx(row.MissRates)
+		gi := maxIdx(row.IPCs)
 		row.PollutionPoint = BlockSizes[pi]
 		row.PerformancePoint = BlockSizes[gi]
 		res.Rows = append(res.Rows, row)
@@ -77,9 +76,9 @@ func (r *Runner) Table1() (*Table1Result, error) {
 		for bi := range r.opt.Benchmarks {
 			col = append(col, results[si*nb+bi].IPC)
 		}
-		res.MeanIPC[si] = stats.HarmonicMean(col)
+		res.MeanIPC[si] = hmean(col)
 	}
-	oi, _ := stats.Max(res.MeanIPC)
+	oi := maxIdx(res.MeanIPC)
 	res.OverallPerf = BlockSizes[oi]
 	return res, nil
 }

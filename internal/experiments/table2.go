@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"memsim/internal/core"
-	"memsim/internal/stats"
 )
 
 // ChannelWidths is the physical channel sweep of Section 3.3.
@@ -56,11 +55,11 @@ func (r *Runner) Table2() (*Table2Result, error) {
 			for bi := 0; bi < nb; bi++ {
 				col = append(col, results[idx*nb+bi].IPC)
 			}
-			row[si] = stats.HarmonicMean(col)
+			row[si] = hmean(col)
 			idx++
 		}
 		res.IPC = append(res.IPC, row)
-		pi, _ := stats.Max(row)
+		pi := maxIdx(row)
 		res.PerfPoint = append(res.PerfPoint, BlockSizes[pi])
 	}
 	return res, nil

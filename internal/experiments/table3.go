@@ -76,7 +76,7 @@ func (r *Runner) Table3() (*Table3Result, error) {
 
 	_, hBaseIPC := group(mru, true)
 	_, lBaseIPC := group(mru, false)
-	hBase := stats.HarmonicMean(hBaseIPC)
+	hBase := hmean(hBaseIPC)
 	lBase := harmonicOrZero(lBaseIPC)
 	for _, pos := range cache.Positions {
 		results := byPos[pos]
@@ -86,7 +86,7 @@ func (r *Runner) Table3() (*Table3Result, error) {
 			Insert:      pos,
 			HighAcc:     stats.Mean(hAcc),
 			LowAcc:      stats.Mean(lAcc),
-			HighSpeedup: safeRatio(stats.HarmonicMean(hIPC), hBase),
+			HighSpeedup: safeRatio(hmean(hIPC), hBase),
 			LowSpeedup:  safeRatio(harmonicOrZero(lIPC), lBase),
 		})
 	}
@@ -97,7 +97,7 @@ func harmonicOrZero(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	return stats.HarmonicMean(xs)
+	return hmean(xs)
 }
 
 func safeRatio(a, b float64) float64 {

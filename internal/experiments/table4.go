@@ -77,7 +77,7 @@ func (r *Runner) Table4() (*Table4Result, error) {
 	}
 
 	clock := sim.NewClock(core.Base().ClockHz)
-	baseHM := stats.HarmonicMean(ipcs(all[0]))
+	baseHM := hmean(ipcs(all[0]))
 	res := &Table4Result{}
 	for i, s := range schemes {
 		var miss, lat []float64
@@ -89,7 +89,7 @@ func (r *Runner) Table4() (*Table4Result, error) {
 			Scheme:      s.name,
 			MissRate:    stats.Mean(miss),
 			MissLatency: stats.Mean(lat),
-			NormIPC:     stats.HarmonicMean(ipcs(all[i])) / baseHM,
+			NormIPC:     hmean(ipcs(all[i])) / baseHM,
 		})
 	}
 

@@ -1,0 +1,107 @@
+package harden
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidatorAggregates(t *testing.T) {
+	var v Validator
+	v.Pow2("Block", 48)
+	v.Range("MSHRs", 0, 1, 1024)
+	v.Check(false, "Mapping", "diag", "unknown mapping")
+	v.Check(true, "OK", 1, "never recorded")
+
+	err := v.Err()
+	if err == nil {
+		t.Fatal("Err() = nil with three violations")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not *ConfigError", err)
+	}
+	if len(ce.Fields) != 3 {
+		t.Fatalf("got %d field errors, want 3", len(ce.Fields))
+	}
+	msg := err.Error()
+	for _, want := range []string{"3 problems", "Block", "MSHRs", "Mapping"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestValidatorClean(t *testing.T) {
+	var v Validator
+	v.Pow2("Block", 64)
+	v.Range("MSHRs", 8, 1, 1024)
+	if err := v.Err(); err != nil {
+		t.Fatalf("clean pass returned %v", err)
+	}
+}
+
+func TestValidatorMerge(t *testing.T) {
+	var inner Validator
+	inner.Pow2("BlockBytes", 3)
+	var outer Validator
+	outer.Merge("Prefetch", inner.Err())
+	outer.Merge("L1", errors.New("size not divisible"))
+	outer.Merge("L2", nil)
+
+	err := outer.Err()
+	if err == nil {
+		t.Fatal("merged violations lost")
+	}
+	ce := err.(*ConfigError)
+	if len(ce.Fields) != 2 {
+		t.Fatalf("got %d field errors, want 2", len(ce.Fields))
+	}
+	if ce.Fields[0].Field != "Prefetch.BlockBytes" {
+		t.Errorf("merged field %q, want Prefetch.BlockBytes", ce.Fields[0].Field)
+	}
+}
+
+func TestFieldErrorViaErrorsAs(t *testing.T) {
+	var v Validator
+	v.Reject("X", 1, "bad")
+	var fe *FieldError
+	if !errors.As(v.Err(), &fe) {
+		t.Fatal("errors.As failed to find *FieldError through ConfigError.Unwrap")
+	}
+	if fe.Field != "X" {
+		t.Errorf("field %q, want X", fe.Field)
+	}
+}
+
+func TestWatchdogObserve(t *testing.T) {
+	w := NewWatchdog()
+	p := Progress{Retired: 10, Issued: 5, Completions: 3}
+	if !w.Observe(p) {
+		t.Fatal("first observation must prime, not trip")
+	}
+	if w.Observe(p) {
+		t.Fatal("identical snapshot reported as progress")
+	}
+	p.Completions++
+	if !w.Observe(p) {
+		t.Fatal("completion increment not counted as progress")
+	}
+	if w.Observe(p) {
+		t.Fatal("stagnant snapshot after progress reported as progress")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	var r Report
+	r.Section("cpu")
+	r.Linef("count=%d", 3)
+	r.Section("mshrs")
+	r.Linef("empty")
+	got := r.String()
+	for _, want := range []string{"=== cpu ===", "count=3", "=== mshrs ===", "empty"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}

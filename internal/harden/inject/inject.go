@@ -1,0 +1,198 @@
+// Package inject is the fault-injection harness of the hardening
+// layer: it deterministically perturbs a running system to prove that
+// the watchdog, the paranoid invariant checker, and the routed
+// internal-bug panics actually catch each corruption class.
+//
+// A Plan names one fault class and a trigger ordinal; the Injector
+// holds the mutable countdown state for one run. Faults fire on the
+// Nth event of the class's trigger domain (demand completions for the
+// completion faults, demand submissions for the channel and accounting
+// faults), so two runs of the same plan perturb the same request.
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class enumerates the supported corruption classes.
+type Class int
+
+// Fault classes. Each models a distinct family of real controller
+// bugs, and each is caught by a different layer of the hardening
+// stack (see the table-driven test in internal/core).
+const (
+	// None injects nothing.
+	None Class = iota
+	// DropCompletion suppresses every demand-completion callback from
+	// the trigger point on: the MSHR entries leak, waiters never fire,
+	// and the core eventually stalls. Caught by the invariant checker
+	// (MSHR entry with no in-flight transfer) or the watchdog.
+	DropCompletion
+	// DuplicateFill delivers the triggering demand completion twice.
+	// The second fill completes an already-completed MSHR — an
+	// internal-bug panic routed into a CorruptionError with a dump.
+	DuplicateFill
+	// StuckBank freezes the DRAM bank addressed by the triggering
+	// demand request: its ready time jumps to the far future, so the
+	// request's data never arrives in any realistic window. Caught by
+	// the invariant checker (bank ready beyond the sanity horizon) or
+	// the watchdog.
+	StuckBank
+	// RefreshStorm simulates a runaway refresh controller from the
+	// trigger point on: every channel access burns a large slice of
+	// bus time, so completions recede faster than the core can chase
+	// them. Caught by the invariant checker (bus free times beyond the
+	// sanity horizon) or the watchdog.
+	RefreshStorm
+	// PhantomMSHR allocates an MSHR entry that no transfer will ever
+	// complete, silently shrinking the miss capacity. Caught by the
+	// invariant checker (MSHR entry with no in-flight transfer).
+	PhantomMSHR
+
+	numClasses
+)
+
+// String names the class in the spec syntax accepted by Parse.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case DropCompletion:
+		return "drop-completion"
+	case DuplicateFill:
+		return "duplicate-fill"
+	case StuckBank:
+		return "stuck-bank"
+	case RefreshStorm:
+		return "refresh-storm"
+	case PhantomMSHR:
+		return "phantom-mshr"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classes lists every real fault class (excluding None).
+func Classes() []Class {
+	out := make([]Class, 0, int(numClasses)-1)
+	for c := None + 1; c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Plan names one fault to inject. The zero Plan injects nothing.
+type Plan struct {
+	// Class selects the corruption class.
+	Class Class
+	// After is the 1-based ordinal of the trigger event (demand
+	// completion or submission, depending on the class) at which the
+	// fault first fires. Zero means 1: the first opportunity.
+	After uint64
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	if p.Class < None || p.Class >= numClasses {
+		return fmt.Errorf("inject: unknown fault class %d", int(p.Class))
+	}
+	return nil
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool { return p.Class != None }
+
+// String renders the plan in Parse syntax.
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	return fmt.Sprintf("%s:%d", p.Class, p.trigger())
+}
+
+func (p Plan) trigger() uint64 {
+	if p.After == 0 {
+		return 1
+	}
+	return p.After
+}
+
+// Parse reads a "class[:after]" spec, e.g. "drop-completion:10" or
+// "stuck-bank". An empty spec or "none" yields the zero Plan.
+func Parse(spec string) (Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return Plan{}, nil
+	}
+	name, ordinal, hasOrdinal := strings.Cut(spec, ":")
+	var p Plan
+	found := false
+	for _, c := range Classes() {
+		if c.String() == name {
+			p.Class = c
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("inject: unknown fault class %q (want one of %v)", name, Classes())
+	}
+	if hasOrdinal {
+		n, err := strconv.ParseUint(ordinal, 10, 64)
+		if err != nil || n == 0 {
+			return Plan{}, fmt.Errorf("inject: bad trigger ordinal %q in %q", ordinal, spec)
+		}
+		p.After = n
+	}
+	return p, nil
+}
+
+// Injector carries one run's countdown state. It is deterministic:
+// given the same sequence of Tick calls it fires at the same points.
+type Injector struct {
+	plan  Plan
+	seen  uint64
+	fired uint64
+}
+
+// New returns an injector executing the plan.
+func New(p Plan) *Injector { return &Injector{plan: p} }
+
+// Plan reports the executing plan.
+func (i *Injector) Plan() Plan { return i.plan }
+
+// Fired reports how many times the fault has fired.
+func (i *Injector) Fired() uint64 { return i.fired }
+
+// Tick records one event of class c's trigger domain and reports
+// whether the fault fires now. Calls for any other class return false
+// without consuming the count, so a single injector can be consulted
+// from every hook site.
+//
+// Sustained classes (DropCompletion, RefreshStorm) fire on the trigger
+// event and every later one — a transient version of those faults can
+// heal before detection, which would make the catch tests flaky.
+// One-shot classes (DuplicateFill, StuckBank, PhantomMSHR) fire
+// exactly once.
+func (i *Injector) Tick(c Class) bool {
+	if i == nil || i.plan.Class != c {
+		return false
+	}
+	i.seen++
+	trigger := i.plan.trigger()
+	switch c {
+	case DropCompletion, RefreshStorm:
+		if i.seen >= trigger {
+			i.fired++
+			return true
+		}
+	case DuplicateFill, StuckBank, PhantomMSHR:
+		if i.seen == trigger {
+			i.fired++
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package inject
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want Plan
+		bad  bool
+	}{
+		{spec: "", want: Plan{}},
+		{spec: "none", want: Plan{}},
+		{spec: "drop-completion", want: Plan{Class: DropCompletion}},
+		{spec: "drop-completion:10", want: Plan{Class: DropCompletion, After: 10}},
+		{spec: "stuck-bank:3", want: Plan{Class: StuckBank, After: 3}},
+		{spec: "refresh-storm", want: Plan{Class: RefreshStorm}},
+		{spec: "duplicate-fill:2", want: Plan{Class: DuplicateFill, After: 2}},
+		{spec: "phantom-mshr", want: Plan{Class: PhantomMSHR}},
+		{spec: "meteor-strike", bad: true},
+		{spec: "drop-completion:0", bad: true},
+		{spec: "drop-completion:x", bad: true},
+	} {
+		got, err := Parse(tc.spec)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("Parse(%q) accepted", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestRoundTripStrings(t *testing.T) {
+	for _, c := range Classes() {
+		p, err := Parse(c.String())
+		if err != nil {
+			t.Errorf("class %v does not round-trip: %v", c, err)
+		}
+		if p.Class != c {
+			t.Errorf("Parse(%q).Class = %v", c.String(), p.Class)
+		}
+	}
+}
+
+func TestOneShotFiresOnce(t *testing.T) {
+	i := New(Plan{Class: StuckBank, After: 3})
+	var fires []int
+	for n := 1; n <= 6; n++ {
+		if i.Tick(StuckBank) {
+			fires = append(fires, n)
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("stuck-bank fired at %v, want [3]", fires)
+	}
+	if i.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", i.Fired())
+	}
+}
+
+func TestSustainedFiresFromTrigger(t *testing.T) {
+	i := New(Plan{Class: DropCompletion, After: 2})
+	var fires []int
+	for n := 1; n <= 5; n++ {
+		if i.Tick(DropCompletion) {
+			fires = append(fires, n)
+		}
+	}
+	if len(fires) != 4 || fires[0] != 2 {
+		t.Fatalf("drop-completion fired at %v, want [2 3 4 5]", fires)
+	}
+}
+
+func TestTickIgnoresOtherClasses(t *testing.T) {
+	i := New(Plan{Class: DuplicateFill, After: 1})
+	if i.Tick(DropCompletion) || i.Tick(StuckBank) {
+		t.Fatal("foreign class tick fired")
+	}
+	if !i.Tick(DuplicateFill) {
+		t.Fatal("matching class tick did not fire: foreign ticks consumed the count")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var i *Injector
+	if i.Tick(DropCompletion) {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestDefaultTriggerIsFirst(t *testing.T) {
+	i := New(Plan{Class: PhantomMSHR})
+	if !i.Tick(PhantomMSHR) {
+		t.Fatal("After=0 plan did not fire on first opportunity")
+	}
+}

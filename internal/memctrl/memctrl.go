@@ -12,6 +12,8 @@
 package memctrl
 
 import (
+	"fmt"
+
 	"memsim/internal/addrmap"
 	"memsim/internal/channel"
 	"memsim/internal/sim"
@@ -129,6 +131,13 @@ type Controller struct {
 	// extension from its future work (Section 6).
 	reorderWindow int
 
+	// pending, when tracking is enabled, counts queued plus in-flight
+	// transfers per block address so the paranoid invariant checker can
+	// verify that every MSHR entry has a live transfer behind it. nil
+	// unless EnableTracking was called; the hot path pays nothing by
+	// default.
+	pending map[uint64]int
+
 	stats Stats
 }
 
@@ -159,6 +168,45 @@ func (c *Controller) Mapper() addrmap.Mapper { return c.mapper }
 // QueuedDemands reports the current demand queue length.
 func (c *Controller) QueuedDemands() int { return len(c.demand) }
 
+// EnableTracking turns on per-address accounting of queued and
+// in-flight transfers, the substrate of the paranoid invariant
+// "every MSHR entry has a live transfer". Off by default.
+func (c *Controller) EnableTracking() {
+	if c.pending == nil {
+		c.pending = make(map[uint64]int)
+	}
+}
+
+// HasPending reports whether the address has a queued or in-flight
+// transfer. Only meaningful after EnableTracking.
+func (c *Controller) HasPending(addr uint64) bool { return c.pending[addr] > 0 }
+
+// track registers a transfer for addr and returns a completion wrapper
+// that releases the registration strictly after the original callback
+// runs, so observers between events never see an MSHR entry outlive
+// its transfer accounting.
+func (c *Controller) track(addr uint64, inner func(sim.Time)) func(sim.Time) {
+	c.pending[addr]++
+	return func(at sim.Time) {
+		if inner != nil {
+			inner(at)
+		}
+		if c.pending[addr]--; c.pending[addr] <= 0 {
+			delete(c.pending, addr)
+		}
+	}
+}
+
+// DebugState summarizes the controller for diagnostic dumps.
+func (c *Controller) DebugState(now sim.Time) string {
+	s := fmt.Sprintf("demand=%d writebacks=%d armed=%v gate=now%+v issued=%v",
+		len(c.demand), len(c.writebacks), c.armed, c.gate-now, c.stats.Issued)
+	if c.pending != nil {
+		s += fmt.Sprintf(" tracked=%d", len(c.pending))
+	}
+	return s
+}
+
 // Pending reports whether any request is queued or a decision event is
 // armed (used by run loops to detect quiescence).
 func (c *Controller) Pending() bool {
@@ -170,6 +218,9 @@ func (c *Controller) Pending() bool {
 // writebacks wait in their own lower-priority queue.
 func (c *Controller) Submit(r *Request) {
 	r.submitted = c.sched.Now()
+	if c.pending != nil {
+		r.OnComplete = c.track(r.Addr, r.OnComplete)
+	}
 	if r.Class == channel.Writeback {
 		c.writebacks = append(c.writebacks, r)
 	} else {
@@ -227,6 +278,9 @@ func (c *Controller) decide() {
 		}
 		r = pr
 		r.submitted = now
+		if c.pending != nil {
+			r.OnComplete = c.track(r.Addr, r.OnComplete)
+		}
 	}
 
 	spans := addrmap.Spans(c.mapper, r.Addr, r.Size)

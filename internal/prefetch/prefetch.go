@@ -375,3 +375,36 @@ func (e *Engine) RecordSettled(used bool) {
 
 // Throttled reports whether the engine is currently suppressing issue.
 func (e *Engine) Throttled() bool { return e.throttled }
+
+// CheckIntegrity validates the queue/index structure: depth within the
+// configured bound, index and queue in bijection, aligned bases, and
+// per-region pending counts consistent with the bitmaps. The paranoid
+// invariant checker runs it periodically.
+func (e *Engine) CheckIntegrity() error {
+	if len(e.queue) > e.cfg.QueueDepth {
+		return fmt.Errorf("prefetch: queue holds %d regions, bound %d", len(e.queue), e.cfg.QueueDepth)
+	}
+	if len(e.index) != len(e.queue) {
+		return fmt.Errorf("prefetch: index size %d != queue size %d", len(e.index), len(e.queue))
+	}
+	n := e.cfg.BlocksPerRegion()
+	for qi, r := range e.queue {
+		if r.base != e.regionBase(r.base) {
+			return fmt.Errorf("prefetch: queue[%d] base %#x not region-aligned", qi, r.base)
+		}
+		if e.index[r.base] != r {
+			return fmt.Errorf("prefetch: queue[%d] base %#x missing from index", qi, r.base)
+		}
+		zeros := 0
+		for i := 0; i < n; i++ {
+			if !r.done(i) {
+				zeros++
+			}
+		}
+		if zeros != r.pending {
+			return fmt.Errorf("prefetch: queue[%d] base %#x pending=%d but bitmap has %d zero bits",
+				qi, r.base, r.pending, zeros)
+		}
+	}
+	return nil
+}

@@ -202,3 +202,20 @@ func (s *Scheduler) RunWhile(cond func() bool) {
 	for cond() && s.Step() {
 	}
 }
+
+// Every schedules fn to fire after each interval for as long as it
+// returns true. Monitoring hooks (the hardening watchdog and the
+// paranoid invariant checker) use it to ride the event loop without
+// owning it. A non-positive interval schedules nothing.
+func (s *Scheduler) Every(interval Time, fn func() bool) {
+	if interval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.Schedule(interval, tick)
+		}
+	}
+	s.Schedule(interval, tick)
+}

@@ -11,20 +11,20 @@ import (
 
 // HarmonicMean returns the harmonic mean of xs, the correct aggregate
 // for rates such as IPC (the paper aggregates SPEC IPCs this way). It
-// returns 0 for an empty slice and panics on non-positive values,
-// which indicate a broken measurement.
-func HarmonicMean(xs []float64) float64 {
+// returns 0 for an empty slice and an error on non-positive or NaN
+// values, which indicate a broken measurement.
+func HarmonicMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %v", x))
+		if !(x > 0) {
+			return 0, fmt.Errorf("stats: harmonic mean of non-positive value %v", x)
 		}
 		sum += 1 / x
 	}
-	return float64(len(xs)) / sum
+	return float64(len(xs)) / sum, nil
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty slice.
@@ -40,19 +40,19 @@ func Mean(xs []float64) float64 {
 }
 
 // GeoMean returns the geometric mean, or 0 for an empty slice. It
-// panics on non-positive values.
-func GeoMean(xs []float64) float64 {
+// returns an error on non-positive or NaN values.
+func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: geometric mean of non-positive value %v", x))
+		if !(x > 0) {
+			return 0, fmt.Errorf("stats: geometric mean of non-positive value %v", x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Speedup returns the relative improvement of next over base as a
@@ -78,11 +78,11 @@ func LostFraction(actual, upper float64) float64 {
 	return f
 }
 
-// Min returns the index and value of the smallest element. It panics
-// on an empty slice.
-func Min(xs []float64) (int, float64) {
+// Min returns the index and value of the smallest element. It returns
+// an error for an empty slice.
+func Min(xs []float64) (int, float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Min of empty slice")
+		return 0, 0, fmt.Errorf("stats: Min of empty slice")
 	}
 	bi, bv := 0, xs[0]
 	for i, x := range xs {
@@ -90,14 +90,14 @@ func Min(xs []float64) (int, float64) {
 			bi, bv = i, x
 		}
 	}
-	return bi, bv
+	return bi, bv, nil
 }
 
-// Max returns the index and value of the largest element. It panics on
-// an empty slice.
-func Max(xs []float64) (int, float64) {
+// Max returns the index and value of the largest element. It returns
+// an error for an empty slice.
+func Max(xs []float64) (int, float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Max of empty slice")
+		return 0, 0, fmt.Errorf("stats: Max of empty slice")
 	}
 	bi, bv := 0, xs[0]
 	for i, x := range xs {
@@ -105,7 +105,7 @@ func Max(xs []float64) (int, float64) {
 			bi, bv = i, x
 		}
 	}
-	return bi, bv
+	return bi, bv, nil
 }
 
 // Median returns the median, or 0 for an empty slice.

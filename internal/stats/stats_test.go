@@ -9,24 +9,23 @@ import (
 func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
 func TestHarmonicMean(t *testing.T) {
-	if got := HarmonicMean([]float64{1, 1, 1}); !close(got, 1) {
-		t.Errorf("HM(1,1,1) = %v", got)
+	if got, err := HarmonicMean([]float64{1, 1, 1}); err != nil || !close(got, 1) {
+		t.Errorf("HM(1,1,1) = %v, %v", got, err)
 	}
-	if got := HarmonicMean([]float64{1, 2}); !close(got, 4.0/3) {
-		t.Errorf("HM(1,2) = %v, want 4/3", got)
+	if got, err := HarmonicMean([]float64{1, 2}); err != nil || !close(got, 4.0/3) {
+		t.Errorf("HM(1,2) = %v, %v, want 4/3", got, err)
 	}
-	if got := HarmonicMean(nil); got != 0 {
-		t.Errorf("HM(nil) = %v", got)
+	if got, err := HarmonicMean(nil); err != nil || got != 0 {
+		t.Errorf("HM(nil) = %v, %v", got, err)
 	}
 }
 
-func TestHarmonicMeanPanicsOnZero(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on zero")
+func TestHarmonicMeanRejectsNonPositive(t *testing.T) {
+	for _, xs := range [][]float64{{1, 0}, {-1}, {1, math.NaN()}} {
+		if _, err := HarmonicMean(xs); err == nil {
+			t.Errorf("HarmonicMean(%v) accepted bad input", xs)
 		}
-	}()
-	HarmonicMean([]float64{1, 0})
+	}
 }
 
 func TestMeanMedian(t *testing.T) {
@@ -45,8 +44,11 @@ func TestMeanMedian(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
-	if got := GeoMean([]float64{1, 4}); !close(got, 2) {
-		t.Errorf("GeoMean(1,4) = %v", got)
+	if got, err := GeoMean([]float64{1, 4}); err != nil || !close(got, 2) {
+		t.Errorf("GeoMean(1,4) = %v, %v", got, err)
+	}
+	if _, err := GeoMean([]float64{1, -4}); err == nil {
+		t.Error("GeoMean accepted a negative value")
 	}
 }
 
@@ -63,13 +65,19 @@ func TestSpeedupAndLostFraction(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	i, v := Min([]float64{3, 1, 2})
-	if i != 1 || v != 1 {
-		t.Errorf("Min = %d,%v", i, v)
+	i, v, err := Min([]float64{3, 1, 2})
+	if err != nil || i != 1 || v != 1 {
+		t.Errorf("Min = %d,%v,%v", i, v, err)
 	}
-	i, v = Max([]float64{3, 1, 2})
-	if i != 0 || v != 3 {
-		t.Errorf("Max = %d,%v", i, v)
+	i, v, err = Max([]float64{3, 1, 2})
+	if err != nil || i != 0 || v != 3 {
+		t.Errorf("Max = %d,%v,%v", i, v, err)
+	}
+	if _, _, err := Min(nil); err == nil {
+		t.Error("Min(nil) did not error")
+	}
+	if _, _, err := Max(nil); err == nil {
+		t.Error("Max(nil) did not error")
 	}
 }
 
@@ -89,8 +97,10 @@ func TestPropertyMeanInequality(t *testing.T) {
 		if len(xs) == 0 {
 			return true
 		}
-		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
-		return hm <= gm+1e-9 && gm <= am+1e-9
+		hm, err1 := HarmonicMean(xs)
+		gm, err2 := GeoMean(xs)
+		am := Mean(xs)
+		return err1 == nil && err2 == nil && hm <= gm+1e-9 && gm <= am+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -55,7 +55,11 @@ func TestFileRoundTrip(t *testing.T) {
 
 func TestFileTruncatesAtN(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := WriteFile(&buf, NewRepeat([]Op{{Addr: 64}}), 5)
+	g, err := NewRepeat([]Op{{Addr: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteFile(&buf, g, 5)
 	if err != nil || n != 5 {
 		t.Fatalf("n=%d err=%v", n, err)
 	}

@@ -96,13 +96,14 @@ type Repeat struct {
 	pos int
 }
 
-// NewRepeat returns a generator cycling over ops endlessly. It panics
-// on an empty sequence.
-func NewRepeat(ops []Op) *Repeat {
+// NewRepeat returns a generator cycling over ops endlessly. An empty
+// sequence is an error: there is nothing to cycle over and Next could
+// never satisfy the Generator contract.
+func NewRepeat(ops []Op) (*Repeat, error) {
 	if len(ops) == 0 {
-		panic("trace: NewRepeat with no ops")
+		return nil, fmt.Errorf("trace: NewRepeat with no ops")
 	}
-	return &Repeat{Ops: ops}
+	return &Repeat{Ops: ops}, nil
 }
 
 // Next implements Generator.

@@ -42,7 +42,10 @@ func TestSlice(t *testing.T) {
 }
 
 func TestRepeat(t *testing.T) {
-	r := NewRepeat([]Op{{Addr: 1}, {Addr: 2}})
+	r, err := NewRepeat([]Op{{Addr: 1}, {Addr: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []uint64{1, 2, 1, 2, 1}
 	for i, w := range want {
 		op, ok := r.Next()
@@ -52,17 +55,18 @@ func TestRepeat(t *testing.T) {
 	}
 }
 
-func TestRepeatEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewRepeat(nil) did not panic")
-		}
-	}()
-	NewRepeat(nil)
+func TestRepeatEmptyErrors(t *testing.T) {
+	if _, err := NewRepeat(nil); err == nil {
+		t.Fatal("NewRepeat(nil) did not error")
+	}
 }
 
 func TestLimit(t *testing.T) {
-	l := &Limit{G: NewRepeat([]Op{{Addr: 1}}), N: 3}
+	r, err := NewRepeat([]Op{{Addr: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Limit{G: r, N: 3}
 	n := 0
 	for {
 		if _, ok := l.Next(); !ok {

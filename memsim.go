@@ -29,6 +29,7 @@ import (
 	"memsim/internal/cache"
 	"memsim/internal/core"
 	"memsim/internal/dram"
+	"memsim/internal/harden/inject"
 	"memsim/internal/prefetch"
 	"memsim/internal/trace"
 	"memsim/internal/workload"
@@ -43,6 +44,20 @@ type PrefetchConfig = core.PrefetchConfig
 
 // Result carries the measurements of one run.
 type Result = core.Result
+
+// HardenConfig tunes the robustness layer: the forward-progress
+// watchdog, the paranoid cross-layer invariant checker, and the
+// deterministic fault-injection harness. The zero value disables all
+// of it.
+type HardenConfig = core.HardenConfig
+
+// InjectPlan names one fault for the injection harness.
+type InjectPlan = inject.Plan
+
+// ParseInject reads a fault-injection spec of the form "class[:after]"
+// (e.g. "drop-completion:10", "stuck-bank"); "" and "none" disable
+// injection.
+func ParseInject(spec string) (InjectPlan, error) { return inject.Parse(spec) }
 
 // Op is one instruction-stream element: a memory operation preceded by
 // a count of non-memory instructions.
