@@ -7,22 +7,51 @@
 //
 // Budgets scale with -instrs/-warmup; -bench restricts the workload
 // suite for quick looks.
+//
+// Long batches survive trouble instead of dying overnight:
+//
+//	experiments -timeout-per-run 5m -retries 2   # bound and re-attempt wedged runs
+//	experiments -keep-going                      # finish the batch, mark lost cells FAILED
+//	experiments -checkpoint runs.json            # record every completed run
+//	experiments -checkpoint runs.json -resume    # skip specs an earlier batch finished
+//
+// SIGINT cancels in-flight runs at event-loop granularity and flushes
+// the checkpoint before exit, so a `-resume` rerun picks up where the
+// interrupted batch stopped.
+//
+// Exit status: 0 when every run completed, 1 on a hard failure, 3 when
+// the batch finished degraded (some runs failed under -keep-going),
+// 130 when interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"memsim/internal/experiments"
 )
 
-func main() {
+// Exit codes; complete, degraded, and failed batches are
+// distinguishable to calling scripts.
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitDegraded    = 3
+	exitInterrupted = 130
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	opt := experiments.Defaults()
 	var (
-		run      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		runIDs   = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
 		seed     = flag.Uint64("seed", 0, "workload sample seed offset")
@@ -32,6 +61,18 @@ func main() {
 			"enable cross-layer invariant checking on every run")
 		watchdog = flag.Int64("watchdog-cycles", 0,
 			"abort a run after this many core cycles without forward progress (0 = off)")
+		timeout = flag.Duration("timeout-per-run", 0,
+			"wall-clock budget per simulation; overruns abort and may retry (0 = none)")
+		retries = flag.Int("retries", 0,
+			"extra attempts for watchdog- or timeout-aborted runs")
+		backoff = flag.Duration("retry-backoff", time.Second,
+			"pause before the first retry, doubling per attempt")
+		keepGoing = flag.Bool("keep-going", false,
+			"finish the batch when runs fail: mark their cells FAILED and exit 3")
+		checkpoint = flag.String("checkpoint", "",
+			"manifest file recording every completed run")
+		resume = flag.Bool("resume", false,
+			"load the -checkpoint manifest and skip specs it already holds")
 	)
 	flag.Parse()
 
@@ -39,35 +80,63 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-11s %s\n", e.ID, e.Paper)
 		}
-		return
+		return exitOK
 	}
+
+	var manifest *experiments.Manifest
+	switch {
+	case *resume && *checkpoint == "":
+		return fatal(fmt.Errorf("-resume requires -checkpoint"))
+	case *resume:
+		m, err := experiments.LoadManifest(*checkpoint)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d completed specs)\n", *checkpoint, m.Len())
+		manifest = m
+	case *checkpoint != "":
+		manifest = experiments.NewManifest(*checkpoint)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opt.Instrs = *instrs
 	opt.Warmup = *warmup
 	opt.Seed = *seed
 	opt.Harden.Paranoid = *paranoid
 	opt.Harden.WatchdogCycles = *watchdog
+	opt.Context = ctx
+	opt.TimeoutPerRun = *timeout
+	opt.Retries = *retries
+	opt.RetryBackoff = *backoff
+	opt.KeepGoing = *keepGoing
+	opt.Checkpoint = manifest
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
 	runner, err := experiments.NewRunner(opt)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	selected := experiments.All()
-	if *run != "" {
+	if *runIDs != "" {
 		selected = selected[:0]
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fatal(err)
+				return fatal(err)
 			}
 			selected = append(selected, e)
 		}
 	}
 
+	hardFailed := false
 	for i, e := range selected {
+		if ctx.Err() != nil {
+			break
+		}
 		if i > 0 {
 			fmt.Println()
 			fmt.Println(strings.Repeat("=", 72))
@@ -75,13 +144,57 @@ func main() {
 		}
 		start := time.Now()
 		if err := e.Run(runner, os.Stdout); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			if ctx.Err() != nil {
+				break
+			}
+			err = fmt.Errorf("%s: %w", e.ID, err)
+			if !*keepGoing {
+				flushManifest(manifest)
+				return fatal(err)
+			}
+			hardFailed = true
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			fmt.Fprintf(os.Stderr, "experiments: continuing past %s (-keep-going)\n", e.ID)
+			continue
 		}
 		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	flushManifest(manifest)
+	c := runner.Counts()
+	fmt.Fprintf(os.Stderr, "experiments: %d simulated, %d reused from checkpoint, %d retried, %d failed\n",
+		c.Completed, c.Reused, c.Retried, c.Failed)
+
+	switch {
+	case ctx.Err() != nil:
+		if manifest != nil {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; rerun with -checkpoint %s -resume to continue\n",
+				manifest.Path())
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+		}
+		return exitInterrupted
+	case hardFailed:
+		return exitFailed
+	case c.Failed > 0:
+		return exitDegraded
+	default:
+		return exitOK
+	}
 }
 
-func fatal(err error) {
+// flushManifest forces a final write so even an aborting batch leaves
+// a resumable checkpoint.
+func flushManifest(m *experiments.Manifest) {
+	if m == nil {
+		return
+	}
+	if err := m.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+}
+
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return exitFailed
 }

@@ -7,22 +7,66 @@
 //	sweep -bench facerec -param region -values 1024,2048,4096,8192 -prefetch
 //
 // Columns: param value, IPC, L2 miss rate, mean miss latency (cycles),
-// command and data utilization, prefetch accuracy.
+// command and data utilization, prefetch accuracy, and a status column
+// ("ok", or "FAILED: reason" for points lost under -keep-going).
+//
+// Long sweeps get the same resilience as cmd/experiments:
+// -timeout-per-run and -retries bound and re-attempt wedged points,
+// -keep-going emits a FAILED row instead of aborting the sweep, and
+// -checkpoint/-resume skip points an earlier (possibly interrupted)
+// sweep already finished. Rows already written are always flushed
+// before exit, even when a point fails mid-sweep.
+//
+// Exit status: 0 complete, 1 failed, 3 degraded (-keep-going lost
+// points), 130 interrupted.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"memsim"
+	"memsim/internal/experiments"
 	"memsim/internal/sim"
 )
 
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitDegraded    = 3
+	exitInterrupted = 130
+)
+
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	w := csv.NewWriter(os.Stdout)
+	code, err := sweep(ctx, w)
+	// Flush unconditionally: rows simulated before a mid-sweep failure
+	// must reach the output, error or not.
+	w.Flush()
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+	}
+	if werr := w.Error(); werr != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", werr)
+		if code == exitOK {
+			code = exitFailed
+		}
+	}
+	os.Exit(code)
+}
+
+func sweep(ctx context.Context, w *csv.Writer) (int, error) {
 	var (
 		bench  = flag.String("bench", "swim", "benchmark profile")
 		param  = flag.String("param", "block", "swept parameter: block, channels, l2mb, region, lookahead, reorder, mshrs")
@@ -32,20 +76,44 @@ func main() {
 		instrs = flag.Uint64("instrs", 300_000, "measured instructions")
 		warmup = flag.Uint64("warmup", 1_200_000, "warmup instructions")
 		seed   = flag.Uint64("seed", 0, "workload sample seed")
+
+		timeout = flag.Duration("timeout-per-run", 0,
+			"wall-clock budget per point; overruns abort and may retry (0 = none)")
+		retries = flag.Int("retries", 0,
+			"extra attempts for watchdog- or timeout-aborted points")
+		keepGoing = flag.Bool("keep-going", false,
+			"emit a FAILED row for lost points instead of aborting the sweep")
+		checkpoint = flag.String("checkpoint", "",
+			"manifest file recording every completed point")
+		resume = flag.Bool("resume", false,
+			"load the -checkpoint manifest and skip points it already holds")
 	)
 	flag.Parse()
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := w.Write([]string{*param, "ipc", "l2_miss_rate", "miss_latency_cycles",
-		"cmd_util", "data_util", "pf_accuracy"}); err != nil {
-		fatal(err)
+	var manifest *experiments.Manifest
+	switch {
+	case *resume && *checkpoint == "":
+		return exitFailed, fmt.Errorf("-resume requires -checkpoint")
+	case *resume:
+		m, err := experiments.LoadManifest(*checkpoint)
+		if err != nil {
+			return exitFailed, err
+		}
+		manifest = m
+	case *checkpoint != "":
+		manifest = experiments.NewManifest(*checkpoint)
 	}
 
+	if err := w.Write([]string{*param, "ipc", "l2_miss_rate", "miss_latency_cycles",
+		"cmd_util", "data_util", "pf_accuracy", "status"}); err != nil {
+		return exitFailed, err
+	}
+
+	degraded := false
 	for _, raw := range strings.Split(*values, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(raw))
 		if err != nil {
-			fatal(fmt.Errorf("bad value %q: %v", raw, err))
+			return exitFailed, fmt.Errorf("bad value %q: %v", raw, err)
 		}
 		cfg := memsim.BaseConfig()
 		if *xor {
@@ -77,16 +145,27 @@ func main() {
 		case "mshrs":
 			cfg.MSHRs = v
 		default:
-			fatal(fmt.Errorf("unknown parameter %q", *param))
+			return exitFailed, fmt.Errorf("unknown parameter %q", *param)
 		}
 
-		gen, err := memsim.Workload(*bench, *seed, false)
+		res, err := runPoint(ctx, cfg, *bench, *seed, manifest, *timeout, *retries)
 		if err != nil {
-			fatal(err)
-		}
-		res, err := memsim.Run(cfg, gen)
-		if err != nil {
-			fatal(err)
+			saveManifest(manifest)
+			if ctx.Err() != nil {
+				return exitInterrupted, fmt.Errorf("interrupted at %s=%d: %w", *param, v, context.Cause(ctx))
+			}
+			pointErr := fmt.Errorf("%s=%d: %w", *param, v, err)
+			if !*keepGoing {
+				return exitFailed, pointErr
+			}
+			degraded = true
+			fmt.Fprintln(os.Stderr, "sweep:", pointErr, "(continuing)")
+			if werr := w.Write([]string{strconv.Itoa(v), "", "", "", "", "", "",
+				"FAILED: " + firstLine(err)}); werr != nil {
+				return exitFailed, werr
+			}
+			w.Flush()
+			continue
 		}
 		clock := sim.NewClock(cfg.ClockHz)
 		rec := []string{
@@ -97,15 +176,76 @@ func main() {
 			fmt.Sprintf("%.4f", res.CommandUtilization()),
 			fmt.Sprintf("%.4f", res.DataUtilization()),
 			fmt.Sprintf("%.4f", res.PrefetchAccuracy()),
+			"ok",
 		}
 		if err := w.Write(rec); err != nil {
-			fatal(err)
+			return exitFailed, err
 		}
 		w.Flush()
 	}
+	if err := saveManifest(manifest); err != nil {
+		return exitFailed, err
+	}
+	if degraded {
+		return exitDegraded, nil
+	}
+	return exitOK, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+// runPoint resolves one sweep point: from the checkpoint when
+// possible, else by simulating under the per-point deadline with the
+// retry policy, recording successes in the manifest.
+func runPoint(ctx context.Context, cfg memsim.Config, bench string, seed uint64,
+	manifest *experiments.Manifest, timeout time.Duration, retries int) (memsim.Result, error) {
+	key := experiments.SpecKey(bench, seed, false, cfg)
+	if manifest != nil {
+		if res, ok := manifest.Lookup(key); ok {
+			return res, nil
+		}
+	}
+	var errs []error
+	for attempt := 0; attempt <= retries; attempt++ {
+		// Generators are stateful; rebuild per attempt.
+		gen, err := memsim.Workload(bench, seed, false)
+		if err != nil {
+			return memsim.Result{}, err
+		}
+		rctx := ctx
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		res, err := memsim.RunContext(rctx, cfg, gen)
+		cancel()
+		if err == nil {
+			if manifest != nil {
+				_ = manifest.Record(key, bench, res)
+			}
+			return res, nil
+		}
+		errs = append(errs, err)
+		if ctx.Err() != nil || !experiments.Retryable(err) {
+			break
+		}
+	}
+	return memsim.Result{}, errors.Join(errs...)
+}
+
+// saveManifest flushes the checkpoint so even an aborted sweep leaves
+// a resumable record.
+func saveManifest(m *experiments.Manifest) error {
+	if m == nil {
+		return nil
+	}
+	return m.Save()
+}
+
+// firstLine compresses an error (watchdog aborts carry state dumps) to
+// its headline for the CSV status cell.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }

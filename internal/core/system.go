@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"memsim/internal/addrmap"
@@ -278,15 +279,48 @@ func (s *System) snapshotBaseline() {
 // *harden.InvariantError, and an internal-bug panic escaping the event
 // loop (e.g. a duplicate MSHR fill) as *harden.CorruptionError with the
 // same diagnostic dump attached.
-func (s *System) Run() (res Result, err error) {
+func (s *System) Run() (Result, error) { return s.RunContext(context.Background()) }
+
+// ctxCheckEvents is how many events RunContext lets fire between
+// cancellation polls: coarse enough to keep the channel poll off the
+// event loop's critical path, fine enough that a canceled or timed-out
+// run stops within a sliver of wall time.
+const ctxCheckEvents = 4096
+
+// RunContext is Run under a context: cancellation and deadlines are
+// checked at event-loop granularity, sharing the abort path that the
+// hardening watchdog uses, so per-run timeouts, batch SIGINT, and
+// watchdog aborts all stop a run the same way. The returned error wraps
+// context.Cause(ctx), so callers can classify it with errors.Is
+// (context.Canceled, context.DeadlineExceeded) or recover a custom
+// cancel cause.
+func (s *System) RunContext(ctx context.Context) (res Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = Result{}, s.recoverCorruption(p)
 		}
 	}()
-	s.sched.RunWhile(func() bool { return s.fatal == nil && !s.core.Done() })
+	cond := func() bool { return s.fatal == nil && !s.core.Done() }
+	canceled := false
+	if done := ctx.Done(); done == nil {
+		s.sched.RunWhile(cond)
+	} else {
+		s.sched.RunWhileSampled(cond, ctxCheckEvents, func() bool {
+			select {
+			case <-done:
+				canceled = true
+				return false
+			default:
+				return true
+			}
+		})
+	}
 	if s.fatal != nil {
 		return Result{}, s.fatal
+	}
+	if canceled {
+		return Result{}, fmt.Errorf("core: run aborted at %v after %d events: %w",
+			s.sched.Now(), s.sched.EventsFired(), context.Cause(ctx))
 	}
 	if !s.core.Done() {
 		return Result{}, fmt.Errorf("core: simulation deadlocked at %v with %d events fired",

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"memsim/internal/cache"
 	"memsim/internal/channel"
@@ -310,5 +313,52 @@ func TestThrottleEngagesOnLowAccuracy(t *testing.T) {
 	}
 	if res.Prefetch.ThrottledChecks == 0 {
 		t.Fatalf("throttle never engaged (accuracy %v)", res.PrefetchAccuracy())
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := p.Generator(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Base()
+	cfg.MaxInstrs = 200_000
+	cfg.WarmupInstrs = 400_000
+	sys, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := p.Generator(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Base()
+	// A budget far larger than a millisecond of wall clock can simulate.
+	cfg.MaxInstrs = 50_000_000
+	cfg.WarmupInstrs = 100_000_000
+	sys, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := sys.RunContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,6 +1,10 @@
 package experiments
 
-import "memsim/internal/stats"
+import (
+	"math"
+
+	"memsim/internal/stats"
+)
 
 // The experiment tables aggregate IPCs and miss rates that come
 // straight out of completed simulations, so the boundary errors the
@@ -9,30 +13,69 @@ import "memsim/internal/stats"
 // wrappers keep the table builders readable by converting those errors
 // back into the panic they would have been before stats grew error
 // returns.
+//
+// One exception is deliberate: NaN marks a cell whose run failed in a
+// KeepGoing batch (see failedResult), so every aggregation here skips
+// NaN inputs and yields a partial statistic — a degraded artifact
+// still reports the shape of the surviving data — and returns NaN only
+// when every input failed.
+
+// valid filters out the NaN failed-cell markers.
+func valid(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
 
 // hmean is the harmonic mean of a set of simulated rates.
 func hmean(xs []float64) float64 {
-	m, err := stats.HarmonicMean(xs)
+	vs := valid(xs)
+	if len(xs) > 0 && len(vs) == 0 {
+		return math.NaN()
+	}
+	m, err := stats.HarmonicMean(vs)
 	if err != nil {
 		panic(err)
 	}
 	return m
 }
 
-// minIdx is the index of the smallest element.
+// minIdx is the index of the smallest surviving element (0 if none
+// survived).
 func minIdx(xs []float64) int {
-	i, _, err := stats.Min(xs)
-	if err != nil {
-		panic(err)
+	if len(xs) == 0 {
+		panic("experiments: minIdx of empty slice")
 	}
-	return i
+	best := -1
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if best < 0 || x < xs[best] {
+			best = i
+		}
+	}
+	return max(best, 0)
 }
 
-// maxIdx is the index of the largest element.
+// maxIdx is the index of the largest surviving element (0 if none
+// survived).
 func maxIdx(xs []float64) int {
-	i, _, err := stats.Max(xs)
-	if err != nil {
-		panic(err)
+	if len(xs) == 0 {
+		panic("experiments: maxIdx of empty slice")
 	}
-	return i
+	best := -1
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return max(best, 0)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Experiment pairs an identifier with a description and a runner that
@@ -14,15 +15,55 @@ type Experiment struct {
 	Run   func(*Runner, io.Writer) error
 }
 
-// write adapts a typed experiment to the registry signature.
+// write adapts a typed experiment to the registry signature. After a
+// KeepGoing batch loses runs, the artifact still renders (failed cells
+// show FAILED or NaN) and gains a DEGRADED section naming each lost
+// spec and why.
 func write[T interface{ Write(io.Writer) error }](f func(*Runner) (T, error)) func(*Runner, io.Writer) error {
 	return func(r *Runner, w io.Writer) error {
 		res, err := f(r)
 		if err != nil {
+			// Keep this artifact's failures out of the next one's
+			// DEGRADED section.
+			r.DrainFailures()
 			return err
 		}
-		return res.Write(w)
+		if err := res.Write(w); err != nil {
+			return err
+		}
+		return writeFailures(w, r.DrainFailures())
 	}
+}
+
+// writeFailures renders the DEGRADED trailer of a partial artifact.
+func writeFailures(w io.Writer, fails []RunFailure) error {
+	if len(fails) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\nDEGRADED: %d run(s) lost; their cells read FAILED or NaN above\n", len(fails)); err != nil {
+		return err
+	}
+	for _, f := range fails {
+		attempts := "attempt"
+		if f.Attempts != 1 {
+			attempts = "attempts"
+		}
+		if _, err := fmt.Fprintf(w, "  FAILED(%s [%s]: %s after %d %s)\n",
+			f.Bench, f.Key, firstLine(f.Err), f.Attempts, attempts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstLine compresses an error (watchdog aborts carry multi-line
+// state dumps) to its headline for the DEGRADED listing.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 // registry lists every reproducible artifact in presentation order.

@@ -203,6 +203,34 @@ func (s *Scheduler) RunWhile(cond func() bool) {
 	}
 }
 
+// RunWhileSampled executes events like RunWhile, with a second, coarse
+// condition evaluated before the first event and then again after every
+// stride fired events. The split lets callers keep a cheap condition
+// (a pointer check) on the per-event path while amortizing an expensive
+// one — a context poll, a wall-clock read — so cancellation costs
+// nothing measurable at event-loop granularity. A zero stride checks
+// coarse before every event.
+func (s *Scheduler) RunWhileSampled(cond func() bool, stride uint64, coarse func() bool) {
+	if stride == 0 {
+		stride = 1
+	}
+	if !coarse() {
+		return
+	}
+	next := s.fired + stride
+	for cond() {
+		if s.fired >= next {
+			if !coarse() {
+				return
+			}
+			next = s.fired + stride
+		}
+		if !s.Step() {
+			return
+		}
+	}
+}
+
 // Every schedules fn to fire after each interval for as long as it
 // returns true. Monitoring hooks (the hardening watchdog and the
 // paranoid invariant checker) use it to ride the event loop without

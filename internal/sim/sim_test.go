@@ -330,3 +330,48 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWhileSampled(t *testing.T) {
+	// coarse is consulted once up front and then after every stride
+	// fired events: 100 events at stride 10 means 11 checks.
+	s := NewScheduler()
+	count, coarse := 0, 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.Schedule(1, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.RunWhileSampled(func() bool { return true }, 10, func() bool {
+		coarse++
+		return true
+	})
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if coarse != 11 {
+		t.Fatalf("coarse checked %d times, want 11", coarse)
+	}
+}
+
+func TestRunWhileSampledStops(t *testing.T) {
+	// coarse returning false on its third consultation (after 2 full
+	// strides) stops the loop at 20 events.
+	s := NewScheduler()
+	count, coarse := 0, 0
+	var tick func()
+	tick = func() {
+		count++
+		s.Schedule(1, tick)
+	}
+	s.Schedule(0, tick)
+	s.RunWhileSampled(func() bool { return true }, 10, func() bool {
+		coarse++
+		return coarse < 3
+	})
+	if count != 20 {
+		t.Fatalf("count = %d, want 20", count)
+	}
+}

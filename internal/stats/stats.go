@@ -122,5 +122,12 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// Pct formats a fraction as a percentage string ("43.0%").
-func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+// Pct formats a fraction as a percentage string ("43.0%"). NaN — the
+// marker a degraded experiment batch leaves in cells whose run failed —
+// renders as FAILED so a partial artifact is legible at a glance.
+func Pct(f float64) string {
+	if math.IsNaN(f) {
+		return "FAILED"
+	}
+	return fmt.Sprintf("%.1f%%", 100*f)
+}

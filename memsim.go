@@ -24,6 +24,7 @@
 package memsim
 
 import (
+	"context"
 	"io"
 
 	"memsim/internal/cache"
@@ -117,11 +118,19 @@ func TunedPrefetch() PrefetchConfig { return core.TunedPrefetch() }
 
 // Run simulates gen on cfg to completion.
 func Run(cfg Config, gen Generator) (Result, error) {
+	return RunContext(context.Background(), cfg, gen)
+}
+
+// RunContext simulates gen on cfg under a context: cancellation and
+// deadlines are polled at event-loop granularity, so a wedged or
+// oversized run can be stopped by a per-run timeout or a SIGINT-driven
+// cancel. The returned error wraps context.Cause(ctx).
+func RunContext(ctx context.Context, cfg Config, gen Generator) (Result, error) {
 	sys, err := core.New(cfg, gen)
 	if err != nil {
 		return Result{}, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }
 
 // Benchmarks lists the 26 synthetic SPEC CPU2000 stand-in workloads in
