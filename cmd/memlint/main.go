@@ -1,0 +1,138 @@
+// Command memlint runs the simulator-specific static analysis suite
+// (see internal/lint and DESIGN.md §9) over Go packages.
+//
+// Standalone:
+//
+//	go run ./cmd/memlint ./...
+//
+// prints one line per finding (file:line:col: message (analyzer)) and
+// exits 1 when anything is found, 0 when the tree is clean, 2 on an
+// internal error.
+//
+// As a vet tool, memlint speaks the cmd/go unitchecker protocol
+// (-V=full, -flags, and single *.cfg invocations), so it can run under
+// the build cache with:
+//
+//	go build -o /tmp/memlint ./cmd/memlint
+//	go vet -vettool=/tmp/memlint ./...
+//
+// False positives are suppressed in source with
+// `//lint:ignore <analyzer> <reason>`; an unexplained directive is
+// itself flagged by the lintdirective analyzer.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"memsim/internal/lint"
+	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go probes vet tools before handing them packages: -V=full
+	// asks for an identity line for the build cache, -flags for the
+	// supported flag set (we expose none).
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			return printVersion()
+		case a == "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	// cmd/go invokes the tool as `memlint [flags] <pkg>.cfg`; any
+	// flags it chooses to pass (e.g. -json) are irrelevant to a
+	// suite with no options.
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		return unitchecker(args[len(args)-1])
+	}
+
+	fs := flag.NewFlagSet("memlint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: memlint [packages]")
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	ld := loader.New(".")
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, lint.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", ld.Fset().Position(d.Pos), d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "memlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// printVersion emits the identity line cmd/go parses when probing a
+// vet tool: "<path> version devel ... buildID=<hex>". cmd/go takes the
+// last field as the tool's content ID for its action cache, so the
+// binary's own hash is the right identity — any change to the suite's
+// logic changes it. The format mirrors objabi.AddVersionFlag, which is
+// private to the go toolchain yet forms part of the vettool contract.
+func printVersion() int {
+	progname, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 2
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 2
+	}
+	fmt.Printf("%s version devel suite=%s buildID=%x\n", progname, suiteID(), h.Sum(nil))
+	return 0
+}
+
+// suiteID folds the analyzer names into the -V=full identity line for
+// human readers of `memlint -V=full`; cache identity comes from the
+// binary hash.
+func suiteID() string {
+	names := make([]string, 0, len(lint.Suite()))
+	for _, a := range lint.Suite() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot returns the module root, two levels above this package.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// TestDriver builds the real binary once and exercises both entry
+// points: the standalone `memlint ./...` invocation that CI runs (the
+// tree must be clean — the suite gates merges), and the
+// `go vet -vettool` protocol.
+func TestDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver over the module; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "memlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/memlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building memlint: %v\n%s", err, out)
+	}
+
+	t.Run("version", func(t *testing.T) {
+		out, err := exec.Command(bin, "-V=full").CombinedOutput()
+		if err != nil {
+			t.Fatalf("-V=full: %v\n%s", err, out)
+		}
+		// cmd/go parses this line as "<path> version devel ... buildID=<id>"
+		// and takes the last field as the tool's cache identity.
+		fields := strings.Fields(string(out))
+		if len(fields) < 4 || fields[1] != "version" || fields[2] != "devel" ||
+			!strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+			t.Errorf("-V=full output %q is not in the form cmd/go expects", out)
+		}
+	})
+
+	t.Run("standalone", func(t *testing.T) {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("memlint ./... reported findings or failed: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("vettool", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/sim", "./internal/stats")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("go vet -vettool: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //lint:ignore escape hatch.
+//
+// A directive of the form
+//
+//	//lint:ignore analyzer1[,analyzer2,...] reason
+//
+// suppresses diagnostics from the named analyzers (or every analyzer,
+// for the name "all") on the directive's own line, or — when the
+// comment stands alone on its line — on the next line, so it can sit
+// directly above the statement it excuses. The reason is mandatory:
+// an unexplained suppression is exactly the silent convention this
+// suite exists to eliminate, so a bare directive is itself flagged by
+// the lintdirective analyzer.
+
+const directivePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Pos
+	line      int      // line the comment starts on
+	ownLine   bool     // comment is the only thing on its line
+	analyzers []string // nil for a malformed directive
+	reason    string
+}
+
+type directiveSet struct {
+	dirs []directive
+}
+
+// collectDirectives parses every //lint:ignore comment in the package.
+func collectDirectives(pkg *Package) *directiveSet {
+	set := &directiveSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := parseDirective(c.Text)
+				d.pos = c.Pos()
+				p := pkg.Fset.Position(c.Pos())
+				d.line = p.Line
+				d.ownLine = p.Column == 1 || onlyWhitespaceBefore(pkg.Fset, f, c)
+				set.dirs = append(set.dirs, d)
+			}
+		}
+	}
+	return set
+}
+
+// parseDirective splits "//lint:ignore names reason" into its parts.
+// A directive with no analyzer list or no reason comes back with
+// analyzers == nil, marking it malformed.
+func parseDirective(text string) directive {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// Some other directive sharing the prefix (none exist today);
+		// treat as malformed rather than silently ignoring.
+		return directive{}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return directive{}
+	}
+	names := strings.Split(fields[0], ",")
+	for _, n := range names {
+		if n == "" {
+			return directive{}
+		}
+	}
+	return directive{analyzers: names, reason: strings.Join(fields[1:], " ")}
+}
+
+// onlyWhitespaceBefore reports whether comment c is preceded only by
+// whitespace on its line, by checking whether any other node of the
+// file starts earlier on the same line. Parsing the raw source would
+// also work, but the AST already carries what we need.
+func onlyWhitespaceBefore(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == line {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt:
+				// Enclosing nodes whose extent merely spans the line
+				// don't make the comment trailing.
+			default:
+				alone = false
+			}
+		}
+		return true
+	})
+	return alone
+}
+
+// suppresses reports whether a well-formed directive covers d.
+func (s *directiveSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	if len(s.dirs) == 0 {
+		return false
+	}
+	line := fset.Position(d.Pos).Line
+	for _, dir := range s.dirs {
+		if dir.analyzers == nil {
+			continue
+		}
+		if dir.line != line && !(dir.ownLine && dir.line+1 == line) {
+			continue
+		}
+		for _, name := range dir.analyzers {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Lintdirective flags //lint:ignore directives that are missing the
+// analyzer list or the reason. It is part of the shared plumbing: the
+// escape hatch stays honest only if an unexplained suppression is
+// itself a finding.
+var Lintdirective = &Analyzer{
+	Name: "lintdirective",
+	Doc: "check that //lint:ignore directives name an analyzer and give a reason\n\n" +
+		"The escape hatch syntax is //lint:ignore analyzer1[,analyzer2] reason. " +
+		"A directive without both parts suppresses nothing and is reported.",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					if d := parseDirective(c.Text); d.analyzers == nil {
+						pass.Reportf(c.Pos(),
+							"malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>")
+					}
+				}
+			}
+		}
+		return nil, nil
+	},
+}

@@ -1,0 +1,162 @@
+// Package errdrop flags discarded error returns from the functions
+// whose errors the hardening layers exist to surface. PR 1 converted
+// the stats constructors and trace.NewRepeat to return errors instead
+// of silently degrading, and the paranoid invariant checker
+// (internal/core/harden.go) is built from Validate/CheckSane/
+// CheckIntegrity calls — dropping one of those errors reopens the
+// exact silent-corruption hole the runtime checks were added to
+// close. Likewise a checkpoint write (Manifest.Record/Save) whose
+// error is discarded can lose a batch's resume state with no trace.
+//
+// The analyzer reports a call to a watched function when the call is
+// an expression statement, or the function body of a defer or go
+// statement — the three shapes where every return value vanishes. An
+// explicit `_ =` assignment is treated as a deliberate, visible
+// discard and is not flagged (though //lint:ignore also works).
+//
+// Watched (all must actually return an error):
+//
+//   - any function or method named Validate, CheckSane or
+//     CheckIntegrity (the paranoid-audit surface);
+//   - stats.HarmonicMean, stats.GeoMean, stats.Min, stats.Max (the
+//     PR 1 constructors);
+//   - trace.NewRepeat;
+//   - Record and Save on the checkpoint Manifest;
+//   - any method named Flush whose only result is an error
+//     (tabwriter and friends: a dropped Flush error truncates report
+//     output silently).
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memsim/internal/lint/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded errors from validation, checkpoint, stats and flush calls\n\n" +
+		"These errors feed the hardening layers (watchdog, paranoid audit, checkpoint resume); " +
+		"dropping one silently reopens the failure class the runtime check exists to catch.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if name, why := watched(pass, call); name != "" {
+				pass.Reportf(call.Pos(), "error returned by %s is discarded: %s", name, why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// watched reports a non-empty display name and rationale when call
+// targets a watched, error-returning function.
+func watched(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !returnsError(fn) {
+		return "", ""
+	}
+	recv := receiverTypeName(fn)
+	switch fn.Name() {
+	case "Validate", "CheckSane", "CheckIntegrity":
+		return display(fn, recv), "it feeds the paranoid invariant audit; handle it or the corruption it found stays invisible"
+	case "HarmonicMean", "GeoMean", "Min", "Max":
+		if pkgNamed(fn, "stats") {
+			return display(fn, recv), "a broken measurement (NaN, non-positive rate, empty slice) would pass silently into reported results"
+		}
+	case "NewRepeat":
+		if pkgNamed(fn, "trace") {
+			return display(fn, recv), "an invalid trace spec would simulate garbage instead of failing fast"
+		}
+	case "Record", "Save":
+		if recv == "Manifest" {
+			return display(fn, recv), "a failed checkpoint write loses resume state with no trace"
+		}
+	case "Flush":
+		if recv != "" && onlyError(fn) {
+			return display(fn, recv), "a failed flush truncates the report silently"
+		}
+	}
+	return "", ""
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// onlyError reports whether fn returns exactly one value, an error.
+func onlyError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Results().Len() == 1 && returnsError(fn)
+}
+
+// receiverTypeName reports the base type name of fn's receiver, or "".
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Interface:
+		return "" // interface method; name-only match still applies upstream
+	}
+	return ""
+}
+
+func pkgNamed(fn *types.Func, name string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Name() == name
+}
+
+func display(fn *types.Func, recv string) string {
+	if recv != "" {
+		return recv + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

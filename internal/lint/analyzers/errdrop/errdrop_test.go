@@ -1,0 +1,17 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"memsim/internal/lint/analysistest"
+	"memsim/internal/lint/analyzers/errdrop"
+)
+
+// TestFixtures covers discarded errors from Validate/CheckSane/
+// CheckIntegrity, the stats constructors, trace.NewRepeat, checkpoint
+// Manifest writes, and only-error Flush — including defer/go
+// statements — plus the allowed forms (explicit `_ =`, handled errors,
+// non-error lookalikes, and //lint:ignore suppression).
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "a")
+}

@@ -1,0 +1,28 @@
+// Package stats stubs the error-returning aggregate constructors of
+// memsim/internal/stats (matched by package name + function name).
+package stats
+
+import "errors"
+
+var errBad = errors.New("bad measurement")
+
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	return xs[0], errBad
+}
+
+func GeoMean(xs []float64) (float64, error) { return HarmonicMean(xs) }
+
+func Min(xs []float64) (int, float64, error) {
+	if len(xs) == 0 {
+		return 0, 0, errBad
+	}
+	return 0, xs[0], nil
+}
+
+func Max(xs []float64) (int, float64, error) { return Min(xs) }
+
+// Mean has no error result, so discarding it is not errdrop's business.
+func Mean(xs []float64) float64 { return 0 }

@@ -1,0 +1,13 @@
+// Package trace stubs memsim/internal/trace's NewRepeat constructor.
+package trace
+
+import "errors"
+
+type Repeat struct{}
+
+func NewRepeat(ops []int) (*Repeat, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &Repeat{}, nil
+}

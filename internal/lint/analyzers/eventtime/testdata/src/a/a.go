@@ -1,0 +1,33 @@
+// Package a exercises the eventtime call-site checks.
+package a
+
+import "sim"
+
+const penalty = 5 * sim.Nanosecond
+
+type component struct {
+	sched   *Schedulerish
+	latency sim.Time
+}
+
+// Schedulerish must NOT match: right methods, wrong type name.
+type Schedulerish struct{}
+
+func (s *Schedulerish) Schedule(delay sim.Time, fn func()) {}
+
+func bad(s *sim.Scheduler, fn func()) {
+	s.At(s.Now()-penalty, fn)           // want `Scheduler.At called with a time subtracted from Now\(\)`
+	s.At(s.Now()-2*sim.Nanosecond, fn)  // want `Scheduler.At called with a time subtracted from Now\(\)`
+	s.Schedule(100, fn)                 // want `Scheduler.Schedule called with bare integer literal 100`
+	s.Schedule(-3, fn)                  // want `Scheduler.Schedule called with bare integer literal 3`
+	s.At((s.Now()-penalty)+penalty, fn) // want `Scheduler.At called with a time subtracted from Now\(\)`
+}
+
+func clean(s *sim.Scheduler, c *component, fn func()) {
+	s.Schedule(0, fn)                  // immediate-schedule idiom is allowed
+	s.Schedule(100*sim.Nanosecond, fn) // unit-typed literals are fine
+	s.Schedule(penalty, fn)            // named constants are fine
+	s.Schedule(c.latency, fn)
+	s.At(s.Now()+c.latency, fn)
+	c.sched.Schedule(100, fn) // wrong receiver type: not the sim kernel
+}

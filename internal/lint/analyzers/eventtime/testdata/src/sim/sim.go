@@ -1,0 +1,25 @@
+// Package sim is a stub of memsim/internal/sim for eventtime fixtures:
+// the analyzer matches Scheduler.At/Schedule by package name, receiver
+// type name and method name, so this stub exercises the same code path
+// as the real kernel.
+package sim
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Nanosecond mirrors the real unit constants.
+const Nanosecond Time = 1000
+
+// Scheduler is a stub of the discrete-event engine.
+type Scheduler struct {
+	now Time
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Schedule queues fn after delay.
+func (s *Scheduler) Schedule(delay Time, fn func()) {}
+
+// At queues fn at absolute time t.
+func (s *Scheduler) At(t Time, fn func()) {}

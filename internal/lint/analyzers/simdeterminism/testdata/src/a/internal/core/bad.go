@@ -1,0 +1,59 @@
+// Package core is a simdeterminism fixture standing in for a
+// simulation-core package (its import path ends in internal/core, so
+// the wall-clock/rand/goroutine bans apply).
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+type system struct {
+	inflight map[uint64]int
+	issued   uint64
+	last     time.Time
+}
+
+// badRanges exercises the nondeterministic map-iteration findings.
+func (s *system) badRanges() []uint64 {
+	var order []uint64
+	for b := range s.inflight { // want `iteration over map is nondeterministically ordered`
+		order = append(order, b)
+		s.issued++ // mixing collection with side effects disqualifies the collect-then-sort shape
+	}
+	return order
+}
+
+// collectedButNeverSorted collects keys and then forgets to sort.
+func (s *system) collectedButNeverSorted() []uint64 {
+	keys := make([]uint64, 0, len(s.inflight))
+	for b := range s.inflight { // want `map keys are collected but never sorted`
+		keys = append(keys, b)
+	}
+	return keys
+}
+
+// floatAccumulation is order-sensitive: float addition is not
+// associative, so summing in map order is nondeterministic.
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `iteration over map is nondeterministically ordered`
+		sum += v
+	}
+	return sum
+}
+
+// wallClock reads host time inside the core.
+func (s *system) wallClock() {
+	s.last = time.Now() // want `time.Now in simulation core`
+}
+
+// globalRand uses the process-global rand source.
+func globalRand() int {
+	return rand.Intn(8) // want `global math/rand.Intn in simulation core`
+}
+
+// spawn starts a goroutine inside the event loop's package.
+func spawn(fn func()) {
+	go fn() // want `goroutine spawned inside simulation core package core`
+}

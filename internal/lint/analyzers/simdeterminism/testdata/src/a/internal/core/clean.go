@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+)
+
+// checkInvariants reproduces the exact sorted-iteration pattern of
+// internal/core/harden.go (checkInvariants): collect the map's keys,
+// slices.Sort them, then iterate the slice. This is the canonical
+// clean case the analyzer must never regress on.
+func (s *system) checkInvariants() []string {
+	var vs []string
+	pfBlocks := make([]uint64, 0, len(s.inflight))
+	for b := range s.inflight {
+		pfBlocks = append(pfBlocks, b)
+	}
+	slices.Sort(pfBlocks)
+	for _, b := range pfBlocks {
+		if s.inflight[b] < 0 {
+			vs = append(vs, "negative")
+		}
+	}
+	return vs
+}
+
+// guardedCollection may filter while collecting, as long as the
+// result is sorted before use.
+func (s *system) guardedCollection() []uint64 {
+	keys := make([]uint64, 0, len(s.inflight))
+	for b, n := range s.inflight {
+		if n > 0 {
+			keys = append(keys, b)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// integerTotals is order-insensitive: integer accumulation commutes.
+func (s *system) integerTotals() (uint64, int) {
+	var total uint64
+	live := 0
+	for _, n := range s.inflight {
+		total += uint64(n)
+		if n > 0 {
+			live++
+		}
+	}
+	return total, live
+}
+
+// clear drains the map with the delete idiom.
+func (s *system) clear() {
+	for b := range s.inflight {
+		delete(s.inflight, b)
+	}
+}
+
+// seededRand builds an explicitly seeded source, which is allowed:
+// the ban is on the shared global source only.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

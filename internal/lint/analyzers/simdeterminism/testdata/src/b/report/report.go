@@ -1,0 +1,23 @@
+// Package report is a non-core fixture: the map-iteration rule is
+// module-wide (report code feeds checkpoint artifacts and CSV output,
+// where ordering must be reproducible too), but the wall-clock and
+// goroutine bans apply only to the simulation core.
+package report
+
+import "time"
+
+// printAll iterates a map directly into output order.
+func printAll(rows map[string]float64) []string {
+	var out []string
+	for name := range rows { // want `map keys are collected but never sorted`
+		out = append(out, name)
+	}
+	return out
+}
+
+// timestamps and goroutines are fine outside the simulation core: the
+// orchestration layer uses both for deadlines and worker pools.
+func orchestrate(fn func()) time.Time {
+	go fn()
+	return time.Now()
+}

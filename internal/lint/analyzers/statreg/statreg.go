@@ -1,0 +1,254 @@
+// Package statreg flags stats counters that exist but can never reach
+// a report — the silent-metrics bug class. The simulator's components
+// follow one idiom: counters live in a package-level `Stats` struct,
+// the component increments them inline on the hot path, and surfaces
+// them wholesale through a `Stats()` accessor plus a human-readable
+// `DebugState`/`DebugString` dump (which the hardening layer embeds in
+// watchdog and invariant-failure reports). Two mistakes break the
+// idiom without breaking the build:
+//
+//  1. A field is added to the Stats struct but no code path ever
+//     touches it. It reports zero forever, and a downstream
+//     experiment that aggregates it quietly averages zeros.
+//
+//  2. A counter-named unsigned-integer field is declared on the
+//     component struct itself (instead of inside its Stats struct)
+//     and never appears in any reporting method — it is measured but
+//     unobservable, exactly what a diagnostic dump cannot afford
+//     when the watchdog fires. Counters are uint64 by codebase idiom;
+//     signed and sim.Time fields are timing state, not counters, and
+//     are exempt.
+//
+// The analyzer scopes itself to the simulation-core packages (the
+// ones with hot-path counters) and reports both shapes. False
+// positives are silenced with `//lint:ignore statreg reason`.
+package statreg
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/analyzers/simdeterminism"
+)
+
+// Analyzer is the statreg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statreg",
+	Doc: "flag stats counters that no code updates or no reporting path surfaces\n\n" +
+		"A Stats-struct field nothing references reports zero forever; a counter-named field on a " +
+		"component struct that no Stats()/DebugState method reads is measured but unobservable.",
+	Run: run,
+}
+
+// reportingMethods are the methods that form a component's observable
+// reporting surface.
+var reportingMethods = map[string]bool{
+	"Stats":       true,
+	"DebugState":  true,
+	"DebugString": true,
+}
+
+// counterHints mark a field name as a counter when it contains one of
+// these fragments (case-insensitive).
+var counterHints = []string{
+	"hit", "miss", "count", "issued", "retired", "evict", "refresh",
+	"fired", "access", "stall", "packet", "completion", "drop", "conflict",
+	"prefetch", "fill", "request", "busy",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !simdeterminism.InSimCore(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	type component struct {
+		typ       *types.Named
+		stats     *types.Named // result of Stats(), if a named struct in this package
+		reportRef map[*types.Var]bool
+	}
+	// components keyed by the receiver's type object, in encounter
+	// order (slice, not map, for deterministic reports).
+	var comps []*component
+	find := func(recv *types.Named) *component {
+		for _, c := range comps {
+			if c.typ == recv {
+				return c
+			}
+		}
+		c := &component{typ: recv, reportRef: make(map[*types.Var]bool)}
+		comps = append(comps, c)
+		return c
+	}
+
+	allRef := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				// Field references outside function bodies
+				// (package-level keyed composite literals) count too.
+				collect(pass, decl, allRef)
+				continue
+			}
+			sinks := []map[*types.Var]bool{allRef}
+			if fd.Recv != nil && reportingMethods[fd.Name.Name] {
+				if recv := receiverNamed(pass, fd); recv != nil {
+					c := find(recv)
+					sinks = append(sinks, c.reportRef)
+					if fd.Name.Name == "Stats" {
+						if s := statsResult(pass, fd); s != nil {
+							c.stats = s
+						}
+					}
+				}
+			}
+			if fd.Body != nil {
+				collect(pass, fd.Body, sinks...)
+			}
+		}
+	}
+
+	reported := make(map[*types.Var]bool) // several components can share one Stats struct
+	for _, c := range comps {
+		// Shape 1: dead fields on the Stats struct.
+		if c.stats != nil && c.stats.Obj().Pkg() == pass.Pkg {
+			st, ok := c.stats.Underlying().(*types.Struct)
+			if ok {
+				for i := 0; i < st.NumFields(); i++ {
+					fld := st.Field(i)
+					if fld.Name() == "_" || fld.Embedded() {
+						continue
+					}
+					if !allRef[fld] && !reported[fld] {
+						reported[fld] = true
+						pass.Reportf(fld.Pos(), "stats field %s.%s is never updated anywhere in package %s: it will report zero forever; increment it or delete it",
+							c.stats.Obj().Name(), fld.Name(), pass.Pkg.Name())
+					}
+				}
+			}
+		}
+		// Shape 2: counter-named numeric fields on the component that
+		// no reporting method reads.
+		st, ok := c.typ.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Embedded() || !isNumericCounter(fld) || !counterNamed(fld.Name()) {
+				continue
+			}
+			if !c.reportRef[fld] {
+				pass.Reportf(fld.Pos(), "counter field %s.%s is never surfaced through %s's Stats()/DebugState reporting path: move it into the Stats struct or report it",
+					c.typ.Obj().Name(), fld.Name(), c.typ.Obj().Name())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collect records every struct field object referenced under root
+// into each sink. Writing to all sinks in one pass avoids a
+// map-to-map union, which simdeterminism would (rightly) flag.
+func collect(pass *analysis.Pass, root ast.Node, sinks ...map[*types.Var]bool) {
+	mark := func(v *types.Var) {
+		for _, s := range sinks {
+			s[v] = true
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					mark(v)
+				}
+			}
+		case *ast.Ident:
+			// Keyed composite-literal fields resolve through Uses.
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && v.IsField() {
+				mark(v)
+			}
+		}
+		return true
+	})
+}
+
+// receiverNamed resolves fd's receiver base type when it is a named
+// struct defined in this package.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		// Receiver types are declarations, not expressions; resolve
+		// through Defs on the receiver name instead.
+		if len(fd.Recv.List[0].Names) == 1 {
+			if obj, ok := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; ok && obj != nil {
+				return namedOf(obj.Type())
+			}
+		}
+		return nil
+	}
+	return namedOf(tv.Type)
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// statsResult resolves the named struct type returned by a Stats()
+// method, or nil.
+func statsResult(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Type.Results.List[0].Type]
+	if !ok {
+		return nil
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return nil
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return named
+}
+
+// isNumericCounter reports whether fld's type matches the counter
+// idiom: an unsigned integer (uint64 throughout this codebase),
+// directly or as array/slice element. Signed integers and sim.Time
+// fields are cursors and timestamps — state, not counters.
+func isNumericCounter(fld *types.Var) bool {
+	unsigned := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsUnsigned != 0
+	}
+	switch t := fld.Type().Underlying().(type) {
+	case *types.Array:
+		return unsigned(t.Elem())
+	case *types.Slice:
+		return unsigned(t.Elem())
+	default:
+		return unsigned(fld.Type())
+	}
+}
+
+func counterNamed(name string) bool {
+	lower := strings.ToLower(name)
+	for _, h := range counterHints {
+		if strings.Contains(lower, h) {
+			return true
+		}
+	}
+	return false
+}

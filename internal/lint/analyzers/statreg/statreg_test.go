@@ -1,0 +1,16 @@
+package statreg_test
+
+import (
+	"testing"
+
+	"memsim/internal/lint/analysistest"
+	"memsim/internal/lint/analyzers/statreg"
+)
+
+// TestFixtures covers both statreg shapes on a sim-core component:
+// a Stats()-reported field nothing updates, and an updated counter
+// field no reporting method surfaces — plus the exempt shapes (signed
+// timing state, cursors, components without a reporting surface).
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", statreg.Analyzer, "a/internal/cache")
+}

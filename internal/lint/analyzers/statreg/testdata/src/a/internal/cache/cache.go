@@ -1,0 +1,68 @@
+// Package cache is a statreg fixture shaped like a simulation-core
+// component (import path ends in internal/cache): counters live in a
+// Stats struct surfaced wholesale by Stats(), with a DebugString dump
+// for diagnostic reports.
+package cache
+
+import "fmt"
+
+// Time stands in for sim.Time: a signed duration is timing state, not
+// a counter, and is exempt from the reporting requirement.
+type Time int64
+
+// Stats is the reported counter block.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+	// Dead is declared but nothing ever updates it: it will report
+	// zero forever.
+	Dead uint64 // want `stats field Stats.Dead is never updated anywhere in package cache`
+}
+
+// Cache is the component under test.
+type Cache struct {
+	stats Stats
+
+	// fills is a counter-named uint64 on the component itself that no
+	// reporting method surfaces: measured but unobservable.
+	fills uint64 // want `counter field Cache.fills is never surfaced`
+
+	// hitStreak is also a component-level counter, but DebugString
+	// reports it, so it is observable.
+	hitStreak uint64
+
+	// prefetchGate is counter-named but sim.Time-like (signed):
+	// timing state, exempt.
+	prefetchGate Time
+
+	// refreshCursor is counter-named but a signed cursor: exempt.
+	refreshCursor int
+}
+
+// Stats surfaces the counter block.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DebugString is the diagnostic dump.
+func (c *Cache) DebugString() string {
+	return fmt.Sprintf("streak=%d gate=%d", c.hitStreak, c.prefetchGate)
+}
+
+func (c *Cache) access(hit bool) {
+	c.stats.Accesses++
+	if !hit {
+		c.stats.Misses++
+		c.hitStreak = 0
+		return
+	}
+	c.hitStreak++
+	c.fills++
+	c.refreshCursor++
+}
+
+// quiet has counters but no reporting surface at all; statreg scopes
+// itself to components that do report, so this is out of scope.
+type quiet struct {
+	hits uint64
+}
+
+func (q *quiet) bump() { q.hits++ }

@@ -1,0 +1,27 @@
+// Package lint assembles the memlint analyzer suite: the
+// simulator-specific static checks (determinism, event-time sanity,
+// error propagation, stats wiring) that go vet cannot express, plus
+// the lintdirective check that keeps the //lint:ignore escape hatch
+// honest. cmd/memlint runs the suite standalone or as a
+// `go vet -vettool` binary; DESIGN.md §9 documents each invariant.
+package lint
+
+import (
+	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/analyzers/errdrop"
+	"memsim/internal/lint/analyzers/eventtime"
+	"memsim/internal/lint/analyzers/simdeterminism"
+	"memsim/internal/lint/analyzers/statreg"
+)
+
+// Suite returns the full analyzer suite in the order diagnostics are
+// attributed. The order is stable so output is reproducible.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		simdeterminism.Analyzer,
+		eventtime.Analyzer,
+		errdrop.Analyzer,
+		statreg.Analyzer,
+		analysis.Lintdirective,
+	}
+}
