@@ -71,6 +71,8 @@ func run() int {
 			"finish the batch when runs fail: mark their cells FAILED and exit 3")
 		checkpoint = flag.String("checkpoint", "",
 			"manifest file recording every completed run")
+		metrics = flag.Bool("metrics", false,
+			"arm the metrics registry on every run; with -checkpoint, manifest entries carry metric deltas")
 		resume = flag.Bool("resume", false,
 			"load the -checkpoint manifest and skip specs it already holds")
 	)
@@ -112,6 +114,7 @@ func run() int {
 	opt.RetryBackoff = *backoff
 	opt.KeepGoing = *keepGoing
 	opt.Checkpoint = manifest
+	opt.Obs.Metrics = *metrics
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}

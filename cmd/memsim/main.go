@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -52,6 +53,13 @@ func main() {
 			"abort after this many core cycles without forward progress (0 = off)")
 		injectSpec = flag.String("inject", "",
 			"inject a fault: class[:after], e.g. drop-completion:10 (see DESIGN.md)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+		traceEvents = flag.Int("trace-events", 0, "trace ring capacity in events (0 = default 65536)")
+		metricsOut  = flag.String("metrics-out", "", "write metrics in Prometheus text exposition format")
+		metricsJSON = flag.String("metrics-json", "", "write metrics as a JSON snapshot")
+		samplesOut  = flag.String("samples-out", "", "write the sampled metrics timeline as JSON")
+		sample      = flag.Duration("sample", 0,
+			"simulated-time interval between timeline samples (e.g. 50us); 0 disables sampling")
 	)
 	flag.Parse()
 
@@ -125,15 +133,60 @@ func main() {
 	}
 	cfg.Harden.Inject = plan
 
+	cfg.Obs = memsim.ObsConfig{
+		Metrics:     *metricsOut != "" || *metricsJSON != "",
+		Trace:       *traceOut != "",
+		TraceEvents: *traceEvents,
+		SampleEvery: sim.Time(sample.Nanoseconds()) * sim.Nanosecond,
+	}
+	if *samplesOut != "" && cfg.Obs.SampleEvery <= 0 {
+		fatal(fmt.Errorf("-samples-out requires a positive -sample interval"))
+	}
+
 	gen, err := memsim.Workload(*bench, *seed, *swpf)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := memsim.Run(cfg, gen)
+	sys, err := memsim.NewSystem(cfg, gen)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
 	if err != nil {
 		fatal(err)
 	}
 	report(*bench, cfg, res)
+	if err := exportObs(sys.Obs(), *traceOut, *metricsOut, *metricsJSON, *samplesOut); err != nil {
+		fatal(err)
+	}
+}
+
+// exportObs writes the enabled observability outputs after a run.
+func exportObs(ob *memsim.Observer, traceOut, metricsOut, metricsJSON, samplesOut string) error {
+	write := func(path string, emit func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(traceOut, ob.Tracer.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := write(metricsOut, ob.Registry.WritePrometheus); err != nil {
+		return err
+	}
+	if err := write(metricsJSON, ob.Registry.WriteJSON); err != nil {
+		return err
+	}
+	return write(samplesOut, ob.Timeline.WriteJSON)
 }
 
 func report(bench string, cfg memsim.Config, res memsim.Result) {

@@ -1,0 +1,264 @@
+// Command obsdump summarizes a Chrome trace-event JSON file written by
+// memsim -trace-out: per-channel utilization, the demand/prefetch
+// interleave on each channel, row-buffer hit rates by access class,
+// the banks suffering the most row conflicts, and why prefetch
+// candidates were dropped.
+//
+// Example:
+//
+//	memsim -bench swim -prefetch -trace-out run.trace.json
+//	obsdump -top 8 run.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"memsim/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 5, "how many banks to list in the conflict ranking")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsdump [-top n] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := obs.ParseChromeTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	s := summarize(tr)
+	s.print(os.Stdout, flag.Arg(0), *top)
+}
+
+// span is one busy interval on a track, in us.
+type span struct{ s, e float64 }
+
+// track accumulates per-channel-track state.
+type track struct {
+	name     string
+	spans    []span
+	accesses int
+	byClass  map[string]int
+	rowHits  map[string]int
+	// transitions counts class changes between consecutive busy spans,
+	// keyed "from>to": the demand/prefetch interleave fingerprint.
+	transitions map[string]int
+	lastClass   string
+}
+
+// summary is everything obsdump reports.
+type summary struct {
+	events     int
+	spanStart  float64 // us
+	spanEnd    float64
+	tracks     map[int]*track
+	names      map[int]string // tid -> thread_name metadata
+	byKind     map[string]int
+	conflicts  map[uint64]int // bank -> conflict precharges
+	precharges map[string]int // reason -> count
+	drops      map[string]int // reason -> count
+}
+
+func summarize(tr *obs.ChromeTrace) *summary {
+	s := &summary{
+		tracks:     map[int]*track{},
+		names:      map[int]string{},
+		byKind:     map[string]int{},
+		conflicts:  map[uint64]int{},
+		precharges: map[string]int{},
+		drops:      map[string]int{},
+		spanStart:  -1,
+	}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				s.names[e.Tid] = e.Args["name"]
+			}
+			continue
+		}
+		s.events++
+		if s.spanStart < 0 || e.Ts < s.spanStart {
+			s.spanStart = e.Ts
+		}
+		if end := e.Ts + e.Dur; end > s.spanEnd {
+			s.spanEnd = end
+		}
+		kind, known := obs.KindByName(e.Name)
+		if !known {
+			continue
+		}
+		s.byKind[e.Name]++
+		switch kind {
+		case obs.EvChannelBusy:
+			t := s.track(e.Tid)
+			t.spans = append(t.spans, span{e.Ts, e.Ts + e.Dur})
+			t.accesses++
+			class := e.Args["class"]
+			t.byClass[class]++
+			if e.Args["rowhit"] == "1" {
+				t.rowHits[class]++
+			}
+			if t.lastClass != "" && t.lastClass != class {
+				t.transitions[t.lastClass+">"+class]++
+			}
+			t.lastClass = class
+		case obs.EvBankPrecharge:
+			reason := e.Args["reason"]
+			s.precharges[reason]++
+			if reason == obs.PrechargeConflict.String() {
+				if bank, err := strconv.ParseUint(e.Args["bank"], 10, 64); err == nil {
+					s.conflicts[bank]++
+				}
+			}
+		case obs.EvPrefetchDrop:
+			s.drops[e.Args["reason"]]++
+		}
+	}
+	return s
+}
+
+func (s *summary) track(tid int) *track {
+	t, ok := s.tracks[tid]
+	if !ok {
+		t = &track{
+			name:        s.names[tid],
+			byClass:     map[string]int{},
+			rowHits:     map[string]int{},
+			transitions: map[string]int{},
+		}
+		if t.name == "" {
+			t.name = fmt.Sprintf("tid %d", tid)
+		}
+		s.tracks[tid] = t
+	}
+	return t
+}
+
+func (s *summary) print(w *os.File, path string, top int) {
+	span := s.spanEnd - s.spanStart
+	fmt.Fprintf(w, "trace          %s: %d events over %.1f us\n", path, s.events, span)
+
+	tids := make([]int, 0, len(s.tracks))
+	for tid := range s.tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		t := s.tracks[tid]
+		util := 0.0
+		if span > 0 {
+			util = 100 * busyUnion(t.spans) / span
+		}
+		fmt.Fprintf(w, "%-14s %d accesses, %.1f%% utilized", t.name, t.accesses, util)
+		classes := make([]string, 0, len(t.byClass))
+		for class := range t.byClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			n := t.byClass[class]
+			fmt.Fprintf(w, "; %s %d (row hit %.1f%%)", class, n, 100*float64(t.rowHits[class])/float64(n))
+		}
+		fmt.Fprintln(w)
+		if len(t.transitions) > 0 {
+			keys := make([]string, 0, len(t.transitions))
+			for k := range t.transitions {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "  interleave  ")
+			for i, k := range keys {
+				if i > 0 {
+					fmt.Fprint(w, ", ")
+				}
+				fmt.Fprintf(w, "%s x%d", k, t.transitions[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(s.conflicts) > 0 {
+		type bc struct {
+			bank uint64
+			n    int
+		}
+		ranked := make([]bc, 0, len(s.conflicts))
+		banks := make([]uint64, 0, len(s.conflicts))
+		for bank := range s.conflicts {
+			banks = append(banks, bank)
+		}
+		sort.Slice(banks, func(i, j int) bool { return banks[i] < banks[j] })
+		for _, bank := range banks {
+			ranked = append(ranked, bc{bank, s.conflicts[bank]})
+		}
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+		if len(ranked) > top {
+			ranked = ranked[:top]
+		}
+		fmt.Fprintf(w, "conflicts      top banks by row-conflict precharges:")
+		for _, r := range ranked {
+			fmt.Fprintf(w, " bank %d (%d)", r.bank, r.n)
+		}
+		fmt.Fprintln(w)
+	}
+
+	printCounts(w, "precharges", s.precharges)
+	printCounts(w, "drops", s.drops)
+	printCounts(w, "events", s.byKind)
+}
+
+// busyUnion measures the union of the busy intervals: ganged channels
+// share one track and pipelined accesses overlap, so summing durations
+// would overcount occupancy.
+func busyUnion(spans []span) float64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	ss := append([]span(nil), spans...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].s < ss[j].s })
+	total, end := 0.0, ss[0].s
+	for _, sp := range ss {
+		if sp.s > end {
+			total += sp.e - sp.s
+			end = sp.e
+		} else if sp.e > end {
+			total += sp.e - end
+			end = sp.e
+		}
+	}
+	return total
+}
+
+func printCounts(w *os.File, label string, m map[string]int) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "%-14s", label)
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, " %s %d", k, m[k])
+	}
+	fmt.Fprintln(w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsdump:", err)
+	os.Exit(1)
+}

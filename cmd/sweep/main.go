@@ -219,7 +219,7 @@ func runPoint(ctx context.Context, cfg memsim.Config, bench string, seed uint64,
 		cancel()
 		if err == nil {
 			if manifest != nil {
-				_ = manifest.Record(key, bench, res)
+				_ = manifest.Record(key, bench, res, nil)
 			}
 			return res, nil
 		}

@@ -11,6 +11,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"memsim/internal/obs"
 )
 
 // InsertPos selects where a filled block lands on a set's recency
@@ -151,6 +153,10 @@ type Cache struct {
 	// references a prefetched block (the prefetch accuracy throttle's
 	// success signal).
 	PrefetchUsedHook func()
+
+	// tr, when attached, receives pollution events (see AttachTracer);
+	// nil-safe when observability is off.
+	tr *obs.Tracer
 }
 
 // New builds a cache from cfg.
@@ -267,6 +273,7 @@ func (c *Cache) Insert(addr uint64, pos InsertPos, dirty, prefetched bool) Victi
 			c.stats.DirtyEvictions++
 		}
 		if v.prefetched {
+			c.tr.Instant(obs.EvPollution, 0, v.block, 0)
 			c.stats.PrefetchEvicted++
 		}
 	}

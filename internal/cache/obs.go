@@ -1,0 +1,35 @@
+package cache
+
+import "memsim/internal/obs"
+
+// RegisterMetrics exposes the cache's counters to the metrics registry,
+// read lazily at export time. Callers label the series with the cache
+// level (level="L1"). Nil-safe on a nil registry.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	counters := []struct {
+		name, help string
+		v          *uint64
+	}{
+		{"memsim_cache_accesses_total", "Demand lookups.", &c.stats.Accesses},
+		{"memsim_cache_misses_total", "Demand lookups that missed.", &c.stats.Misses},
+		{"memsim_cache_writes_total", "Demand lookups that were stores.", &c.stats.Writes},
+		{"memsim_cache_prefetch_fills_total", "Blocks inserted by the prefetcher.", &c.stats.PrefetchFills},
+		{"memsim_cache_prefetch_used_total", "Prefetched blocks later demand-referenced.", &c.stats.PrefetchUsed},
+		{"memsim_cache_prefetch_evicted_total", "Prefetched blocks evicted unreferenced.", &c.stats.PrefetchEvicted},
+		{"memsim_cache_evictions_total", "Blocks evicted.", &c.stats.Evictions},
+		{"memsim_cache_dirty_evictions_total", "Dirty blocks evicted (writebacks generated).", &c.stats.DirtyEvictions},
+	}
+	for _, ct := range counters {
+		v := ct.v
+		reg.CounterFunc(ct.name, ct.help, func() float64 { return float64(*v) }, labels...)
+	}
+	reg.GaugeFunc("memsim_cache_resident_blocks",
+		"Valid blocks currently resident.",
+		func() float64 { return float64(c.ResidentBlocks()) }, labels...)
+}
+
+// AttachTracer makes the cache emit an EvPollution instant each time a
+// prefetched block is evicted without ever being referenced — the
+// pollution the Section 4.1 insertion policies exist to bound.
+// Nil-safe.
+func (c *Cache) AttachTracer(tr *obs.Tracer) { c.tr = tr }

@@ -24,6 +24,7 @@ import (
 
 	"memsim/internal/addrmap"
 	"memsim/internal/dram"
+	"memsim/internal/obs"
 	"memsim/internal/sim"
 )
 
@@ -201,6 +202,15 @@ type Channel struct {
 	stormDur sim.Time
 
 	stats Stats
+
+	// Observability hooks (see Observe). tr and streak are nil-safe:
+	// with observability off each emit site costs one branch.
+	tr    *obs.Tracer
+	group int
+	// streak is the demand row-hit streak histogram; demandStreak
+	// counts consecutive demand row-buffer hits since the last miss.
+	streak       *obs.Histogram
+	demandStreak uint64
 }
 
 // New returns a channel with all banks precharged and buses idle.
@@ -243,6 +253,8 @@ func (ch *Channel) applyRefresh(now sim.Time) {
 		ch.bankReady[dev][bank] = max(ch.bankReady[dev][bank], start) + dur
 		ch.refreshAt++
 
+		ch.tr.Span(obs.EvRefresh, ch.group, start, start+dur, globalBank(dev, bank), 0)
+		ch.tr.InstantAt(obs.EvBankPrecharge, ch.group, start, globalBank(dev, bank), uint64(obs.PrechargeRefresh))
 		ch.stats.Refreshes++
 		ch.nextRefresh += ch.cfg.RefreshInterval
 	}
@@ -407,17 +419,20 @@ func (ch *Channel) Access(now sim.Time, spans []addrmap.Span, class Class, write
 				(*ready)[nb] = done
 				prechargeDone = max(prechargeDone, done)
 				dev.Precharge(nb)
+				ch.tr.InstantAt(obs.EvBankPrecharge, ch.group, t, globalBank(c.Device, nb), uint64(obs.PrechargeNeighbor))
 				ch.stats.NeighborPrecharges++
 			}
 			if self {
 				t := ch.reserveRow(max(now, (*ready)[c.Bank]))
 				res.Start = min(res.Start, t)
 				prechargeDone = max(prechargeDone, t+tm.PRER)
+				ch.tr.InstantAt(obs.EvBankPrecharge, ch.group, t, globalBank(c.Device, c.Bank), uint64(obs.PrechargeConflict))
 				ch.stats.RowMissPrecharges++
 			}
 			t := ch.reserveRow(max(now, prechargeDone))
 			res.Start = min(res.Start, t)
 			dev.Activate(c.Bank, c.Row)
+			ch.tr.InstantAt(obs.EvBankActivate, ch.group, t, globalBank(c.Device, c.Bank), uint64(c.Row))
 			(*ready)[c.Bank] = t + tm.ACT
 		}
 
@@ -451,6 +466,20 @@ func (ch *Channel) Access(now sim.Time, spans []addrmap.Span, class Class, write
 			t := ch.reserveRow(ch.colFree)
 			(*ready)[c.Bank] = t + tm.PRER
 			dev.Precharge(c.Bank)
+			ch.tr.InstantAt(obs.EvBankPrecharge, ch.group, t, globalBank(c.Device, c.Bank), uint64(obs.PrechargeClosedPage))
+		}
+	}
+	var hit uint64
+	if res.RowHit {
+		hit = 1
+	}
+	ch.tr.Span(obs.EvChannelBusy, ch.group, res.Start, res.LastData, uint64(class), hit)
+	if class == Demand {
+		if res.RowHit {
+			ch.demandStreak++
+		} else {
+			ch.streak.Observe(float64(ch.demandStreak))
+			ch.demandStreak = 0
 		}
 	}
 	_ = write // reads and writes share packet timing on DRDRAM (Section 2.2, note 2)

@@ -1,0 +1,83 @@
+package channel
+
+import (
+	"strconv"
+
+	"memsim/internal/dram"
+	"memsim/internal/obs"
+)
+
+// streakBounds buckets the demand row-hit streak histogram: how many
+// consecutive demand accesses hit the open row between misses. The
+// paper's mapping-policy comparison (Section 3.4) is exactly a fight
+// over this distribution's mass.
+var streakBounds = []float64{0, 1, 2, 3, 4, 8, 16, 32, 64}
+
+// Observe wires the channel into a run's observer: counters and the
+// row-hit streak histogram into the registry, bus and bank events into
+// the tracer. group labels this channel's controller index. Safe to
+// skip entirely (the zero hooks cost one branch per site); call at
+// most once, before the first access.
+func (ch *Channel) Observe(ob *obs.Observer, group int) {
+	if ob == nil {
+		return
+	}
+	ch.tr = ob.Tracer
+	ch.group = group
+	reg := ob.Registry
+	if reg == nil {
+		return
+	}
+	ctrl := obs.Label{Key: "ctrl", Value: strconv.Itoa(group)}
+
+	for c := Class(0); c < numClasses; c++ {
+		c := c
+		cl := obs.Label{Key: "class", Value: c.String()}
+		reg.CounterFunc("memsim_channel_accesses_total",
+			"Block accesses scheduled on the channel by class.",
+			func() float64 { return float64(ch.stats.Accesses[c]) }, ctrl, cl)
+		reg.CounterFunc("memsim_channel_row_hits_total",
+			"Per-span row-buffer hits by class.",
+			func() float64 { return float64(ch.stats.RowHits[c]) }, ctrl, cl)
+	}
+	reg.CounterFunc("memsim_channel_packets_total",
+		"Packets placed on a bus.",
+		func() float64 { return float64(ch.stats.RowPackets) }, ctrl, obs.Label{Key: "bus", Value: "row"})
+	reg.CounterFunc("memsim_channel_packets_total",
+		"Packets placed on a bus.",
+		func() float64 { return float64(ch.stats.ColPackets) }, ctrl, obs.Label{Key: "bus", Value: "col"})
+	reg.CounterFunc("memsim_channel_packets_total",
+		"Packets placed on a bus.",
+		func() float64 { return float64(ch.stats.DataPackets) }, ctrl, obs.Label{Key: "bus", Value: "data"})
+	reg.CounterFunc("memsim_channel_busy_ps_total",
+		"Simulated picoseconds a bus carried packets.",
+		func() float64 { return float64(ch.stats.RowBusy) }, ctrl, obs.Label{Key: "bus", Value: "row"})
+	reg.CounterFunc("memsim_channel_busy_ps_total",
+		"Simulated picoseconds a bus carried packets.",
+		func() float64 { return float64(ch.stats.ColBusy) }, ctrl, obs.Label{Key: "bus", Value: "col"})
+	reg.CounterFunc("memsim_channel_busy_ps_total",
+		"Simulated picoseconds a bus carried packets.",
+		func() float64 { return float64(ch.stats.DataBusy) }, ctrl, obs.Label{Key: "bus", Value: "data"})
+	reg.CounterFunc("memsim_channel_precharges_total",
+		"Precharge operations by cause.",
+		func() float64 { return float64(ch.stats.NeighborPrecharges) }, ctrl, obs.Label{Key: "reason", Value: "neighbor"})
+	reg.CounterFunc("memsim_channel_precharges_total",
+		"Precharge operations by cause.",
+		func() float64 { return float64(ch.stats.RowMissPrecharges) }, ctrl, obs.Label{Key: "reason", Value: "conflict"})
+	reg.CounterFunc("memsim_channel_refreshes_total",
+		"Refresh operations injected on the channel.",
+		func() float64 { return float64(ch.stats.Refreshes) }, ctrl)
+	ch.streak = reg.Histogram("memsim_channel_demand_row_hit_streak",
+		"Consecutive demand row-buffer hits between demand misses.",
+		streakBounds, ctrl)
+
+	for i, dev := range ch.devices {
+		dev.RegisterMetrics(reg, ctrl, obs.Label{Key: "device", Value: strconv.Itoa(i)})
+	}
+}
+
+// globalBank flattens a (device, bank) coordinate into the event
+// payload space shared with dram: device*BanksPerDevice+bank.
+func globalBank(dev, bank int) uint64 {
+	return uint64(dev*dram.BanksPerDevice + bank)
+}

@@ -9,6 +9,7 @@ import (
 	"memsim/internal/dram"
 	"memsim/internal/harden"
 	"memsim/internal/harden/inject"
+	"memsim/internal/obs"
 	"memsim/internal/prefetch"
 )
 
@@ -155,6 +156,11 @@ type Config struct {
 	// invariant checking, fault injection). The zero value runs with
 	// all of it off, matching the paper's measurement configurations.
 	Harden HardenConfig
+
+	// Obs configures the observability layer (metrics registry, event
+	// tracer, timeline sampling). The zero value disables it all; a
+	// disabled instrument costs one branch per hook site.
+	Obs obs.Config
 }
 
 // Base returns the paper's base configuration (Section 3.1): a 1.6 GHz
@@ -291,6 +297,9 @@ func (c Config) Validate() error {
 	v.Check(c.Harden.WatchdogCycles >= 0, "Harden.WatchdogCycles", c.Harden.WatchdogCycles, "must be >= 0")
 	v.Check(c.Harden.ParanoidEvery >= 0, "Harden.ParanoidEvery", c.Harden.ParanoidEvery, "must be >= 0")
 	v.Merge("Harden.Inject", c.Harden.Inject.Validate())
+
+	v.Range("Obs.TraceEvents", int64(c.Obs.TraceEvents), 0, 1<<28)
+	v.Check(c.Obs.SampleEvery >= 0, "Obs.SampleEvery", c.Obs.SampleEvery, "must be >= 0")
 
 	return v.Err()
 }

@@ -179,6 +179,13 @@ func (s *System) dump() string {
 		r.Section("inject")
 		r.Linef("plan=%s fired=%d", s.inj.Plan(), s.inj.Fired())
 	}
+	if s.tr != nil {
+		r.Section("trace")
+		r.Linef("emitted=%d dropped=%d; last %d events:", s.tr.Emitted(), s.tr.Dropped(), watchdogTraceEvents)
+		for _, e := range s.tr.Last(watchdogTraceEvents) {
+			r.Linef("%v %s group=%d a=%#x b=%d dur=%v", e.At, e.Kind, e.Group, e.A, e.B, e.Dur)
+		}
+	}
 	return r.String()
 }
 

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sort"
+
+	"memsim/internal/obs"
+)
+
+// watchdogTraceEvents is how many of the most recent trace events the
+// hardening dump embeds when tracing is on: enough to see the memory
+// system's last few transactions before a no-progress abort, small
+// enough to keep the dump readable.
+const watchdogTraceEvents = 16
+
+// armObs builds the run's observer from cfg.Obs and wires every layer
+// into it. With observability disabled the observer still exists but
+// all instruments are nil, so each hook site costs one branch and the
+// run is otherwise identical.
+func (s *System) armObs() {
+	s.obs = obs.New(s.cfg.Obs, s.sched.Now)
+	s.tr = s.obs.Tracer
+
+	for g := range s.ctrls {
+		s.chns[g].Observe(s.obs, g)
+		s.ctrls[g].Observe(s.obs, g)
+	}
+	s.l2.AttachTracer(s.obs.Tracer)
+	if s.pfbuffer != nil {
+		s.pfbuffer.AttachTracer(s.obs.Tracer)
+	}
+	if eo, ok := s.pf.(interface{ Observe(*obs.Observer) }); ok {
+		eo.Observe(s.obs)
+	}
+
+	reg := s.obs.Registry
+	if reg == nil {
+		return
+	}
+	s.l1.RegisterMetrics(reg, obs.Label{Key: "level", Value: "L1"})
+	s.l2.RegisterMetrics(reg, obs.Label{Key: "level", Value: "L2"})
+	if s.pfbuffer != nil {
+		s.pfbuffer.RegisterMetrics(reg, obs.Label{Key: "level", Value: "pfbuffer"})
+	}
+
+	reg.CounterFunc("memsim_core_retired_total",
+		"Instructions retired.",
+		func() float64 { return float64(s.core.Stats().Retired) })
+	reg.CounterFunc("memsim_core_late_merges_total",
+		"Demand misses merged into in-flight prefetches.",
+		func() float64 { return float64(s.lateMerges) })
+	reg.CounterFunc("memsim_core_sw_prefetches_total",
+		"Software prefetch fills requested.",
+		func() float64 { return float64(s.swPrefetches) })
+	reg.CounterFunc("memsim_core_prefetch_skipped_total",
+		"Prefetch candidates dropped before issue (resident or in flight).",
+		func() float64 { return float64(s.prefetchSkipped) })
+	reg.GaugeFunc("memsim_core_mshr_occupancy",
+		"Outstanding demand-miss entries in the MSHR table.",
+		func() float64 { return float64(len(s.mshrs.Blocks())) })
+	reg.GaugeFunc("memsim_core_prefetches_inflight",
+		"Prefetch fills currently in flight.",
+		func() float64 { return float64(len(s.inflight)) })
+	reg.CounterFunc("memsim_sim_events_total",
+		"Discrete events fired by the scheduler.",
+		func() float64 { return float64(s.sched.EventsFired()) })
+	reg.GaugeFunc("memsim_sim_now_ps",
+		"Current simulated time in picoseconds.",
+		func() float64 { return float64(s.sched.Now()) })
+}
+
+// Obs exposes the run's observer for export: metrics after Run, the
+// trace ring at any quiescent point. Never nil on a system built by
+// New; its fields are nil for disabled instruments.
+func (s *System) Obs() *obs.Observer { return s.obs }
+
+// ObsMetricsDelta flattens the registry into series-name -> value,
+// subtracting the warmup baseline when one was taken, mirroring how
+// Result reports steady-state counters. Nil when metrics are off.
+func (s *System) ObsMetricsDelta() map[string]float64 {
+	cur := s.obs.Registry.Values()
+	if cur == nil || !s.baseline.taken {
+		return cur
+	}
+	names := make([]string, 0, len(s.baseline.obsValues))
+	for name := range s.baseline.obsValues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur[name] -= s.baseline.obsValues[name]
+	}
+	return cur
+}

@@ -10,6 +10,7 @@ import (
 	"memsim/internal/cpu"
 	"memsim/internal/harden/inject"
 	"memsim/internal/memctrl"
+	"memsim/internal/obs"
 	"memsim/internal/prefetch"
 	"memsim/internal/sim"
 	"memsim/internal/trace"
@@ -57,6 +58,12 @@ type System struct {
 	fatal       error
 	completions uint64
 
+	// Observability (see obs.go): the run's observer (never nil after
+	// New) and a direct tracer handle for hierarchy-level events (nil
+	// when tracing is off; all emit methods are nil-safe).
+	obs *obs.Observer
+	tr  *obs.Tracer
+
 	// System-level statistics.
 	lateMerges      uint64 // demand misses merged into in-flight prefetches
 	swPrefetches    uint64 // software prefetch fills requested
@@ -75,6 +82,7 @@ type System struct {
 		lateMerges      uint64
 		swPrefetches    uint64
 		prefetchSkipped uint64
+		obsValues       map[string]float64
 	}
 }
 
@@ -206,6 +214,7 @@ func New(cfg Config, gen trace.Generator) (*System, error) {
 		s.core.Milestone = cfg.WarmupInstrs
 		s.core.OnMilestone = s.snapshotBaseline
 	}
+	s.armObs()
 	s.armHarden()
 	return s, nil
 }
@@ -271,6 +280,8 @@ func (s *System) snapshotBaseline() {
 	b.lateMerges = s.lateMerges
 	b.swPrefetches = s.swPrefetches
 	b.prefetchSkipped = s.prefetchSkipped
+	b.obsValues = s.obs.Registry.Values()
+	s.obs.Timeline.ForceSample(s.sched.Now())
 }
 
 // Run executes the workload to completion and returns the collected
@@ -302,17 +313,22 @@ func (s *System) RunContext(ctx context.Context) (res Result, err error) {
 	}()
 	cond := func() bool { return s.fatal == nil && !s.core.Done() }
 	canceled := false
-	if done := ctx.Done(); done == nil {
+	done := ctx.Done()
+	tl := s.obs.Timeline
+	if done == nil && tl == nil {
 		s.sched.RunWhile(cond)
 	} else {
 		s.sched.RunWhileSampled(cond, ctxCheckEvents, func() bool {
-			select {
-			case <-done:
-				canceled = true
-				return false
-			default:
-				return true
+			tl.MaybeSample(s.sched.Now())
+			if done != nil {
+				select {
+				case <-done:
+					canceled = true
+					return false
+				default:
+				}
 			}
+			return true
 		})
 	}
 	if s.fatal != nil {
@@ -326,6 +342,7 @@ func (s *System) RunContext(ctx context.Context) (res Result, err error) {
 		return Result{}, fmt.Errorf("core: simulation deadlocked at %v with %d events fired",
 			s.sched.Now(), s.sched.EventsFired())
 	}
+	tl.ForceSample(s.sched.Now())
 	return s.result(), nil
 }
 
@@ -380,6 +397,7 @@ func (h *hierarchy) Access(addr uint64, kind trace.Kind, complete func(sim.Time)
 	// Merge into an in-flight prefetch: the "late prefetch" case.
 	if fill, ok := s.inflight[block]; ok {
 		fill.demand = true
+		s.tr.Instant(obs.EvLateMerge, 0, block, 0)
 		s.lateMerges++
 		s.notifyPrefetcher(addr)
 		if complete != nil {
@@ -551,19 +569,19 @@ func (s *System) makePrefetchRequest(block uint64) (*memctrl.Request, bool) {
 	// physical address.
 	block = s.l2.BlockAddr(block % s.capacity)
 	if s.l2.Contains(block) {
-		s.prefetchSkipped++
+		s.dropPrefetch(block, obs.DropResident)
 		return nil, false
 	}
 	if s.pfbuffer != nil && s.pfbuffer.Contains(block) {
-		s.prefetchSkipped++
+		s.dropPrefetch(block, obs.DropBuffered)
 		return nil, false
 	}
 	if _, busy := s.inflight[block]; busy {
-		s.prefetchSkipped++
+		s.dropPrefetch(block, obs.DropInFlight)
 		return nil, false
 	}
 	if _, busy := s.mshrs.Lookup(block); busy {
-		s.prefetchSkipped++
+		s.dropPrefetch(block, obs.DropDemandPending)
 		return nil, false
 	}
 	fill := &pfFill{}
@@ -587,6 +605,12 @@ func (s *System) makePrefetchRequest(block uint64) (*memctrl.Request, bool) {
 			s.core.Wake()
 		},
 	}, true
+}
+
+// dropPrefetch records a prefetch candidate discarded before issue.
+func (s *System) dropPrefetch(block uint64, reason obs.DropReason) {
+	s.tr.Instant(obs.EvPrefetchDrop, 0, block, uint64(reason))
+	s.prefetchSkipped++
 }
 
 // softwarePrefetch handles a software prefetch instruction: a

@@ -1,0 +1,14 @@
+package dram
+
+import "memsim/internal/obs"
+
+// RegisterMetrics exposes the device's bank state to the metrics
+// registry: the active-bank count is the paper's proxy for how much
+// row-buffer locality the mapping policy can exploit at any instant.
+// Values are read lazily at export time, so the device's hot path is
+// untouched. Nil-safe on a nil registry.
+func (d *Device) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.GaugeFunc("memsim_dram_open_banks",
+		"Banks currently holding an open row in their sense amps.",
+		func() float64 { return float64(d.ActiveBanks()) }, labels...)
+}

@@ -36,6 +36,10 @@ type ManifestEntry struct {
 	Runs int `json:"runs"`
 	// Result is the completed measurement.
 	Result core.Result `json:"result"`
+	// Metrics holds the run's warmup-adjusted observability series
+	// (see core.System.ObsMetricsDelta) when the batch armed the
+	// metrics registry; nil otherwise.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Manifest is the on-disk checkpoint of a batch: completed results
@@ -120,10 +124,11 @@ func (m *Manifest) Lookup(key string) (core.Result, bool) {
 	return e.Result, true
 }
 
-// Record stores a completed run and flushes the manifest to disk. A
-// flush failure is returned and also retained for Save, so a batch on
-// a full disk still finishes and reports the problem once.
-func (m *Manifest) Record(key, bench string, res core.Result) error {
+// Record stores a completed run — with its metric deltas, when the
+// batch captured any — and flushes the manifest to disk. A flush
+// failure is returned and also retained for Save, so a batch on a
+// full disk still finishes and reports the problem once.
+func (m *Manifest) Record(key, bench string, res core.Result, metrics map[string]float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e := m.entries[key]
@@ -132,6 +137,7 @@ func (m *Manifest) Record(key, bench string, res core.Result) error {
 		m.entries[key] = e
 	}
 	e.Result = res
+	e.Metrics = metrics
 	e.Runs++
 	return m.flushLocked()
 }

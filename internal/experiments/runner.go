@@ -35,6 +35,7 @@ import (
 	"memsim/internal/core"
 	"memsim/internal/harden"
 	"memsim/internal/harden/inject"
+	"memsim/internal/obs"
 	"memsim/internal/workload"
 )
 
@@ -57,6 +58,12 @@ type Options struct {
 	// deliberately excluded: injected runs are expected to fail, which
 	// would abort a whole experiment batch.
 	Harden core.HardenConfig
+	// Obs arms the observability instruments on every run. With Metrics
+	// set, each completed run's warmup-adjusted metric deltas are
+	// captured and, when a Checkpoint is active, stored in its manifest
+	// entry. Tracing is possible but rarely useful in batches (the ring
+	// is discarded after harvesting).
+	Obs obs.Config
 
 	// Context cancels the whole batch: in-flight runs stop at event-loop
 	// granularity, queued specs are never started, and the batch returns
@@ -216,6 +223,7 @@ func (r *Runner) specConfig(sp spec) core.Config {
 	cfg.MaxInstrs = r.opt.Instrs
 	cfg.WarmupInstrs = r.opt.Warmup
 	cfg.Harden = r.opt.Harden
+	cfg.Obs = r.opt.Obs
 	cfg.Harden.Inject = inject.Plan{} // never inject into experiment batches
 	if r.opt.injectFor != nil {
 		cfg.Harden.Inject = r.opt.injectFor(sp)
@@ -317,13 +325,13 @@ func (r *Runner) runSpec(ctx context.Context, sp spec) (core.Result, int, error)
 	}
 	var errs []error
 	for attempt := 1; ; attempt++ {
-		res, err := r.runOnce(ctx, sp)
+		res, metrics, err := r.runOnce(ctx, sp)
 		if err == nil {
 			r.completed.Add(1)
 			if r.opt.Checkpoint != nil {
 				// A checkpoint that cannot be written must not kill the
 				// batch; the manifest remembers the error for Save.
-				_ = r.opt.Checkpoint.Record(key, sp.bench, res)
+				_ = r.opt.Checkpoint.Record(key, sp.bench, res, metrics)
 			}
 			return res, attempt, nil
 		}
@@ -341,11 +349,12 @@ func (r *Runner) runSpec(ctx context.Context, sp spec) (core.Result, int, error)
 // runOnce executes a single simulation attempt under the per-run
 // deadline, converting any panic on the path (workload construction,
 // system assembly, result extraction) into an error so one poisoned
-// spec cannot take down the worker pool.
-func (r *Runner) runOnce(ctx context.Context, sp spec) (res core.Result, err error) {
+// spec cannot take down the worker pool. With metrics armed it also
+// harvests the run's warmup-adjusted metric deltas.
+func (r *Runner) runOnce(ctx context.Context, sp spec) (res core.Result, metrics map[string]float64, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			res, err = core.Result{}, fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+			res, metrics, err = core.Result{}, nil, fmt.Errorf("panic: %v\n%s", p, debug.Stack())
 		}
 	}()
 	if d := r.opt.TimeoutPerRun; d > 0 {
@@ -355,17 +364,21 @@ func (r *Runner) runOnce(ctx context.Context, sp spec) (res core.Result, err err
 	}
 	p, err := workload.ByName(sp.bench)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, nil, err
 	}
 	gen, err := p.Generator(r.opt.Seed, sp.swpf)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, nil, err
 	}
 	sys, err := core.New(r.specConfig(sp), gen)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, nil, err
 	}
-	return sys.RunContext(ctx)
+	res, err = sys.RunContext(ctx)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return res, sys.ObsMetricsDelta(), nil
 }
 
 // Retryable reports whether a run failure is worth re-attempting: a

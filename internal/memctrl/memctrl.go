@@ -16,6 +16,7 @@ import (
 
 	"memsim/internal/addrmap"
 	"memsim/internal/channel"
+	"memsim/internal/obs"
 	"memsim/internal/sim"
 )
 
@@ -139,6 +140,12 @@ type Controller struct {
 	pending map[uint64]int
 
 	stats Stats
+
+	// Observability hooks (see Observe); nil-safe when observability
+	// is off.
+	tr        *obs.Tracer
+	group     int
+	demandLat *obs.Histogram
 }
 
 // New wires a controller to a channel and address mapping.
@@ -225,6 +232,7 @@ func (c *Controller) Submit(r *Request) {
 		c.writebacks = append(c.writebacks, r)
 	} else {
 		if r.Class == channel.Demand && c.sched.Now() < c.prefetchInFlight {
+			c.tr.Instant(obs.EvDemandBypass, c.group, r.Addr, 0)
 			c.stats.PrefetchesBehindDemand++
 		}
 		c.demand = append(c.demand, r)
@@ -278,6 +286,7 @@ func (c *Controller) decide() {
 		}
 		r = pr
 		r.submitted = now
+		c.tr.Instant(obs.EvPrefetchIssue, c.group, r.Addr, 0)
 		if c.pending != nil {
 			r.OnComplete = c.track(r.Addr, r.OnComplete)
 		}
@@ -289,6 +298,7 @@ func (c *Controller) decide() {
 	if r.Class == channel.Demand {
 		c.stats.DemandLatency += res.FirstData - r.submitted
 		c.stats.DemandQueueWait += now - r.submitted
+		c.demandLat.Observe(float64(res.FirstData-r.submitted) / float64(sim.Nanosecond))
 	}
 	if r.Class == channel.Prefetch && res.LastData > c.prefetchInFlight {
 		c.prefetchInFlight = res.LastData

@@ -1,0 +1,54 @@
+package prefetch
+
+import "memsim/internal/obs"
+
+// queueDepthBounds buckets the region-queue depth histogram, observed
+// on every demand miss. The tuned queue holds 8 entries; persistent
+// saturation means region churn (Section 4.2's FIFO pathology).
+var queueDepthBounds = []float64{0, 1, 2, 3, 4, 6, 8, 16}
+
+// Observe wires the engine into a run's observer: lifecycle counters
+// into the registry, region create/replace/promote instants into the
+// tracer. The engine stays time-oblivious — instants take their
+// timestamp from the tracer's clock. Call at most once, before the
+// first demand miss.
+func (e *Engine) Observe(ob *obs.Observer) {
+	if ob == nil {
+		return
+	}
+	e.tr = ob.Tracer
+	reg := ob.Registry
+	if reg == nil {
+		return
+	}
+	counters := []struct {
+		name, help string
+		v          *uint64
+	}{
+		{"memsim_prefetch_regions_created_total", "Region entries created by demand misses.", &e.stats.RegionsCreated},
+		{"memsim_prefetch_regions_replaced_total", "Region entries evicted from the queue before completion.", &e.stats.RegionsReplaced},
+		{"memsim_prefetch_regions_completed_total", "Region entries whose every block was processed.", &e.stats.RegionsCompleted},
+		{"memsim_prefetch_promotions_total", "LIFO re-promotions of a queued region on a demand miss within it.", &e.stats.Promotions},
+		{"memsim_prefetch_issued_total", "Prefetch block addresses handed to the controllers.", &e.stats.Issued},
+		{"memsim_prefetch_bank_aware_picks_total", "Issues that skipped ahead to a region with an open row.", &e.stats.BankAwarePicks},
+		{"memsim_prefetch_throttled_checks_total", "Issue opportunities suppressed by the accuracy throttle.", &e.stats.ThrottledChecks},
+	}
+	for _, c := range counters {
+		v := c.v
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(*v) })
+	}
+	reg.GaugeFunc("memsim_prefetch_queue_regions",
+		"Region entries currently queued.",
+		func() float64 { return float64(len(e.queue)) })
+	reg.GaugeFunc("memsim_prefetch_throttled",
+		"1 while the accuracy throttle is suppressing issue.",
+		func() float64 {
+			if e.throttled {
+				return 1
+			}
+			return 0
+		})
+	e.depth = reg.Histogram("memsim_prefetch_queue_depth",
+		"Region-queue depth observed at each demand miss.",
+		queueDepthBounds)
+}

@@ -28,6 +28,8 @@ package prefetch
 import (
 	"fmt"
 	"math/bits"
+
+	"memsim/internal/obs"
 )
 
 // Policy selects the region prioritization and replacement discipline.
@@ -176,6 +178,11 @@ type Engine struct {
 	throttled                 bool
 
 	stats Stats
+
+	// Observability hooks (see Observe); nil-safe when observability
+	// is off.
+	tr    *obs.Tracer
+	depth *obs.Histogram
 }
 
 // New builds an engine from cfg.
@@ -215,6 +222,7 @@ func (e *Engine) blockIndex(addr uint64) int {
 // Otherwise a new region entry is created, overwriting the oldest
 // (FIFO) or tail (LIFO) entry when the queue is full.
 func (e *Engine) OnDemandMiss(addr uint64, resident func(block uint64) bool) {
+	e.depth.Observe(float64(len(e.queue)))
 	base := e.regionBase(addr)
 	if r, ok := e.index[base]; ok {
 		r.markDone(e.blockIndex(addr))
@@ -224,6 +232,7 @@ func (e *Engine) OnDemandMiss(addr uint64, resident func(block uint64) bool) {
 		}
 		if e.cfg.Policy == LIFO {
 			e.promote(r)
+			e.tr.Instant(obs.EvPrefetchPromote, 0, r.base, 0)
 			e.stats.Promotions++
 		}
 		return
@@ -246,6 +255,7 @@ func (e *Engine) OnDemandMiss(addr uint64, resident func(block uint64) bool) {
 			r.markDone(i)
 		}
 	}
+	e.tr.Instant(obs.EvRegionCreate, 0, base, 0)
 	e.stats.RegionsCreated++
 	if r.pending == 0 {
 		// Everything else already cached; nothing to queue.
@@ -266,6 +276,7 @@ func (e *Engine) OnDemandMiss(addr uint64, resident func(block uint64) bool) {
 			e.queue = e.queue[:len(e.queue)-1]
 		}
 		delete(e.index, victim.base)
+		e.tr.Instant(obs.EvRegionReplace, 0, victim.base, 0)
 		e.stats.RegionsReplaced++
 	}
 

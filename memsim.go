@@ -31,6 +31,7 @@ import (
 	"memsim/internal/core"
 	"memsim/internal/dram"
 	"memsim/internal/harden/inject"
+	"memsim/internal/obs"
 	"memsim/internal/prefetch"
 	"memsim/internal/trace"
 	"memsim/internal/workload"
@@ -51,6 +52,25 @@ type Result = core.Result
 // deterministic fault-injection harness. The zero value disables all
 // of it.
 type HardenConfig = core.HardenConfig
+
+// ObsConfig selects the observability instruments a run carries
+// (metrics registry, event tracer, timeline sampling); set it on
+// Config.Obs. The zero value disables them all.
+type ObsConfig = obs.Config
+
+// Observer bundles a run's observability instruments; retrieve it with
+// System.Obs after a run to export metrics, traces, and timelines.
+type Observer = obs.Observer
+
+// System is a fully wired simulated machine. Most callers use Run;
+// build one explicitly with NewSystem when post-run access to the
+// system (observability export, metric deltas) is needed.
+type System = core.System
+
+// NewSystem builds a system without running it. Run it once with
+// System.Run or System.RunContext, then harvest results and
+// observability output.
+func NewSystem(cfg Config, gen Generator) (*System, error) { return core.New(cfg, gen) }
 
 // InjectPlan names one fault for the injection harness.
 type InjectPlan = inject.Plan

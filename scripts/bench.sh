@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench.sh — run the repo's benchmarks and write a JSON baseline.
+#
+# Usage:
+#   scripts/bench.sh                          # all benchmarks, 1 iteration each
+#   scripts/bench.sh -p 'Fig5|Throughput'     # subset by pattern
+#   scripts/bench.sh -n 3x -o BENCH_baseline.json
+#
+# No make, no external tooling: POSIX sh + go + awk. The output
+# captures ns/op and any custom metrics (e.g. instrs/s) per benchmark,
+# plus enough provenance (go version, git revision) to interpret a
+# baseline later. Compare a fresh run against BENCH_baseline.json to
+# spot throughput regressions; the tracing-disabled hot path is the
+# number to watch when touching instrumented code.
+set -eu
+
+pattern='.'
+benchtime='1x'
+out='BENCH_baseline.json'
+while getopts 'p:n:o:' opt; do
+  case $opt in
+    p) pattern=$OPTARG ;;
+    n) benchtime=$OPTARG ;;
+    o) out=$OPTARG ;;
+    *) echo "usage: $0 [-p pattern] [-n benchtime] [-o out.json]" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+goversion=$(go version | awk '{print $3}')
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count 1 .)
+
+printf '%s\n' "$raw" | awk -v goversion="$goversion" -v rev="$rev" -v stamp="$stamp" '
+BEGIN {
+  printf "{\n \"go\": \"%s\",\n \"revision\": \"%s\",\n \"date\": \"%s\",\n \"benchmarks\": [", goversion, rev, stamp
+  n = 0
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (n++) printf ","
+  printf "\n  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+  # Custom metrics follow as value/unit pairs.
+  for (i = 5; i + 1 <= NF; i += 2)
+    printf ", \"%s\": %s", $(i + 1), $i
+  printf "}"
+}
+END { printf "\n ]\n}\n" }
+' >"$out"
+
+count=$(grep -c '"name"' "$out" || true)
+echo "bench.sh: wrote $count benchmark(s) to $out"
