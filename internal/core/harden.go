@@ -162,6 +162,7 @@ func (s *System) dump() string {
 	now := s.sched.Now()
 	r.Section("sim")
 	r.Linef("now=%v events=%d", now, s.sched.EventsFired())
+	r.Linef("%s", s.sched.DebugState())
 	r.Section("cpu")
 	r.Linef("%s", s.core.DebugState())
 	r.Section("mshrs")

@@ -116,10 +116,12 @@ func New(cfg Config, gen trace.Generator) (*System, error) {
 		return nil, err
 	}
 
+	// Validate vetted the engine name already; the error is unreachable.
+	engine, _ := sim.ParseEngine(cfg.Engine)
 	s := &System{
 		cfg:      cfg,
 		clock:    sim.NewClock(cfg.ClockHz),
-		sched:    sim.NewScheduler(),
+		sched:    sim.NewSchedulerEngine(engine),
 		l1:       l1,
 		l2:       l2,
 		mshrs:    cache.NewMSHRTable(cfg.MSHRs),

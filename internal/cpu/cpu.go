@@ -133,6 +133,13 @@ type CPU struct {
 	finished  bool
 	finishAt  sim.Time
 
+	// Pre-bound scheduler callbacks (see sim.Callback): bound once at
+	// construction so the per-event hot paths schedule without
+	// allocating a closure.
+	stepCB    sim.Callback
+	issueCB   sim.Callback // arg: *entry
+	releaseCB sim.Callback // arg: []*entry, dependents to issue
+
 	// credits implements the SustainedIPC dispatch limiter: each cycle
 	// adds SustainedIPC credits (capped at Width) and each dispatched
 	// instruction consumes one.
@@ -163,6 +170,14 @@ func New(sched *sim.Scheduler, mem Memory, gen trace.Generator, cfg Config) (*CP
 		mem:   mem,
 		gen:   gen,
 		rob:   make([]*entry, cfg.ROBSize),
+	}
+	c.stepCB = func(sim.Time, any) { c.step() }
+	c.issueCB = func(_ sim.Time, arg any) { c.issue(arg.(*entry)) }
+	c.releaseCB = func(_ sim.Time, arg any) {
+		for _, d := range arg.([]*entry) {
+			c.issue(d)
+		}
+		c.Wake()
 	}
 	c.armStep(0)
 	return c, nil
@@ -225,7 +240,7 @@ func (c *CPU) armStep(delay sim.Time) {
 	}
 	c.stepArmed = true
 	at := c.cfg.Clock.NextEdge(c.sched.Now() + delay)
-	c.sched.At(at, c.step)
+	c.sched.AtCall(at, c.stepCB, nil)
 }
 
 // nextInstr pulls the next instruction from the stream. It returns
@@ -303,12 +318,7 @@ func (c *CPU) tryIssue(e *entry) bool {
 		if len(e.dependents) > 0 {
 			deps := e.dependents
 			e.dependents = nil
-			c.sched.At(rep.At, func() {
-				for _, d := range deps {
-					c.issue(d)
-				}
-				c.Wake()
-			})
+			c.sched.AtCall(rep.At, c.releaseCB, deps)
 		}
 	}
 	return true
@@ -382,8 +392,7 @@ func (c *CPU) step() {
 						prod.dependents = append(prod.dependents, e)
 					} else {
 						// Producer completes at a known future time.
-						at := prod.doneAt
-						c.sched.At(at, func() { c.issue(e) })
+						c.sched.AtCall(prod.doneAt, c.issueCB, e)
 					}
 				} else {
 					c.issue(e)

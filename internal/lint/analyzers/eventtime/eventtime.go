@@ -34,7 +34,7 @@ import (
 // Analyzer is the eventtime pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "eventtime",
-	Doc: "flag sim.Scheduler.At/Schedule call sites that subtract from Now() or pass a bare integer literal\n\n" +
+	Doc: "flag sim.Scheduler scheduling calls (Schedule, At, ScheduleCall, AtCall) that subtract from Now() or pass a bare integer literal\n\n" +
 		"Subtracting from Now() schedules in the past (the runtime clamps it, silently skewing timing); " +
 		"bare non-zero literals bypass the sim.Time unit system.",
 	Run: run,
@@ -76,7 +76,9 @@ func schedulerMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "sim" {
 		return "", false
 	}
-	if fn.Name() != "Schedule" && fn.Name() != "At" {
+	switch fn.Name() {
+	case "Schedule", "At", "ScheduleCall", "AtCall":
+	default:
 		return "", false
 	}
 	sig, ok := fn.Type().(*types.Signature)

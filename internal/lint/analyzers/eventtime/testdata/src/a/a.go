@@ -23,6 +23,11 @@ func bad(s *sim.Scheduler, fn func()) {
 	s.At((s.Now()-penalty)+penalty, fn) // want `Scheduler.At called with a time subtracted from Now\(\)`
 }
 
+func badPrebound(s *sim.Scheduler, cb sim.Callback) {
+	s.AtCall(s.Now()-penalty, cb, nil) // want `Scheduler.AtCall called with a time subtracted from Now\(\)`
+	s.ScheduleCall(200, cb, nil)       // want `Scheduler.ScheduleCall called with bare integer literal 200`
+}
+
 func clean(s *sim.Scheduler, c *component, fn func()) {
 	s.Schedule(0, fn)                  // immediate-schedule idiom is allowed
 	s.Schedule(100*sim.Nanosecond, fn) // unit-typed literals are fine
@@ -30,4 +35,10 @@ func clean(s *sim.Scheduler, c *component, fn func()) {
 	s.Schedule(c.latency, fn)
 	s.At(s.Now()+c.latency, fn)
 	c.sched.Schedule(100, fn) // wrong receiver type: not the sim kernel
+}
+
+func cleanPrebound(s *sim.Scheduler, c *component, cb sim.Callback) {
+	s.ScheduleCall(0, cb, nil) // immediate-schedule idiom is allowed
+	s.ScheduleCall(c.latency, cb, nil)
+	s.AtCall(s.Now()+c.latency, cb, nil)
 }

@@ -18,8 +18,17 @@ type Scheduler struct {
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
+// Callback mirrors the pre-bound event handler form.
+type Callback func(now Time, arg any)
+
 // Schedule queues fn after delay.
 func (s *Scheduler) Schedule(delay Time, fn func()) {}
 
 // At queues fn at absolute time t.
 func (s *Scheduler) At(t Time, fn func()) {}
+
+// ScheduleCall queues the pre-bound cb with arg after delay.
+func (s *Scheduler) ScheduleCall(delay Time, cb Callback, arg any) {}
+
+// AtCall queues the pre-bound cb with arg at absolute time t.
+func (s *Scheduler) AtCall(t Time, cb Callback, arg any) {}

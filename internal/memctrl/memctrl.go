@@ -132,6 +132,10 @@ type Controller struct {
 	// extension from its future work (Section 6).
 	reorderWindow int
 
+	// decideCB is the pre-bound decision callback (see sim.Callback),
+	// bound once at construction so arming costs no allocation.
+	decideCB sim.Callback
+
 	// pending, when tracking is enabled, counts queued plus in-flight
 	// transfers per block address so the paranoid invariant checker can
 	// verify that every MSHR entry has a live transfer behind it. nil
@@ -150,7 +154,9 @@ type Controller struct {
 
 // New wires a controller to a channel and address mapping.
 func New(sched *sim.Scheduler, ch *channel.Channel, mapper addrmap.Mapper) *Controller {
-	return &Controller{sched: sched, ch: ch, mapper: mapper}
+	c := &Controller{sched: sched, ch: ch, mapper: mapper}
+	c.decideCB = func(sim.Time, any) { c.decide() }
+	return c
 }
 
 // SetPrefetchSource registers the prefetch engine hook. A nil source
@@ -254,8 +260,7 @@ func (c *Controller) arm() {
 		return
 	}
 	c.armed = true
-	delay := c.gate - c.sched.Now()
-	c.sched.Schedule(delay, c.decide)
+	c.sched.AtCall(c.gate, c.decideCB, nil)
 }
 
 // decide is the access prioritizer: demand misses first, then
@@ -304,12 +309,10 @@ func (c *Controller) decide() {
 		c.prefetchInFlight = res.LastData
 	}
 	if r.OnFirstData != nil {
-		cb, at := r.OnFirstData, res.FirstData
-		c.sched.At(res.FirstData, func() { cb(at) })
+		c.sched.AtCall(res.FirstData, fireFirstData, r)
 	}
 	if r.OnComplete != nil {
-		cb, at := r.OnComplete, res.LastData
-		c.sched.At(res.LastData, func() { cb(at) })
+		c.sched.AtCall(res.LastData, fireComplete, r)
 	}
 
 	// The next decision may be made once this access's command packets
@@ -319,6 +322,14 @@ func (c *Controller) decide() {
 		c.arm()
 	}
 }
+
+// fireFirstData and fireComplete are the completion dispatchers: the
+// scheduled event carries the *Request as its payload, so completion
+// scheduling allocates nothing. The fire time equals the scheduled
+// channel-result time (Access never returns past times), matching the
+// timestamps the request callbacks were promised.
+func fireFirstData(at sim.Time, arg any) { arg.(*Request).OnFirstData(at) }
+func fireComplete(at sim.Time, arg any)  { arg.(*Request).OnComplete(at) }
 
 // pop removes and returns the next request from the queue: the oldest,
 // unless reordering is enabled and a younger entry within the window

@@ -1,0 +1,280 @@
+// Package difftest is the differential test harness for the event
+// engines in internal/sim. It generates randomized but fully seeded
+// scheduler workload programs — interleavings of schedule, cancel,
+// reschedule, nested schedule, single-step and bounded-run operations —
+// executes each against both the calendar-queue engine and the
+// reference heap engine, and asserts the two observable behaviors are
+// identical: same fire order, same timestamps, same clock and
+// queue-depth snapshots after every operation.
+//
+// Both engines realize the same strict total order (when, seq), so any
+// divergence is a bug in one of them; by convention the heap is the
+// specification (it is the original implementation) and the calendar
+// queue is the suspect. On divergence the harness shrinks the failing
+// program with delta debugging so the report carries a minimal
+// reproducer alongside the seed.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"memsim/internal/sim"
+)
+
+// OpKind enumerates the scheduler operations a program can perform.
+type OpKind uint8
+
+const (
+	// OpSchedule queues a closure-form event (cancelable handle) at
+	// now+Delay.
+	OpSchedule OpKind = iota
+	// OpScheduleCall queues a pooled pre-bound event at now+Delay.
+	OpScheduleCall
+	// OpCancel cancels the Pick-th previously created handle.
+	OpCancel
+	// OpReschedule cancels the Pick-th handle and schedules a
+	// replacement at now+Delay.
+	OpReschedule
+	// OpNested queues an event at now+Delay that, when it fires,
+	// schedules a pooled child at +Child.
+	OpNested
+	// OpStep executes the next pending event, if any.
+	OpStep
+	// OpRunUntil runs the scheduler up to now+Delay.
+	OpRunUntil
+
+	numOpKinds
+)
+
+var opNames = [...]string{"sched", "call", "cancel", "resched", "nested", "step", "until"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one program step.
+type Op struct {
+	Kind  OpKind
+	Delay sim.Time // relative delay for scheduling ops and RunUntil
+	Child sim.Time // nested child's delay
+	Pick  int      // handle selector for cancel/reschedule
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpCancel:
+		return fmt.Sprintf("{cancel #%d}", o.Pick)
+	case OpReschedule:
+		return fmt.Sprintf("{resched #%d +%d}", o.Pick, int64(o.Delay))
+	case OpNested:
+		return fmt.Sprintf("{nested +%d child +%d}", int64(o.Delay), int64(o.Child))
+	case OpStep:
+		return "{step}"
+	case OpRunUntil:
+		return fmt.Sprintf("{until +%d}", int64(o.Delay))
+	default:
+		return fmt.Sprintf("{%v +%d}", o.Kind, int64(o.Delay))
+	}
+}
+
+// Program is a seeded scheduler workload: the ops are replayed in order
+// against a fresh Scheduler, then the queue is drained.
+type Program struct {
+	Seed int64
+	Ops  []Op
+}
+
+// farEvery is how often Generate emits a far-future delay (seconds
+// instead of nanoseconds), driving the calendar queue through its
+// sparse-year cursor jump and its resize width recomputation.
+const farEvery = 31
+
+// Generate derives a program of nops operations from seed. Generation
+// is pure: the same seed always yields the same program.
+func Generate(seed int64, nops int) Program {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, nops)
+	for i := range ops {
+		op := Op{
+			Kind:  OpKind(rng.Intn(int(numOpKinds))),
+			Delay: sim.Time(rng.Intn(5000)), // spans several bucket widths
+			Child: sim.Time(rng.Intn(2000)),
+			Pick:  rng.Intn(1 << 16),
+		}
+		// Same-tick bursts (zero delay) and far-future outliers are the
+		// interesting corners; make both common.
+		switch {
+		case rng.Intn(8) == 0:
+			op.Delay = 0
+		case rng.Intn(farEvery) == 0:
+			op.Delay = sim.Time(rng.Int63n(int64(3 * sim.Second)))
+		}
+		ops[i] = op
+	}
+	return Program{Seed: seed, Ops: ops}
+}
+
+// Fire records one observed event execution.
+type Fire struct {
+	ID    int      // deterministic event identity
+	At    sim.Time // scheduler clock when it ran
+	Fired uint64   // scheduler's fired counter after it ran
+}
+
+// Mark snapshots scheduler state after one program op.
+type Mark struct {
+	Now     sim.Time
+	Fired   uint64
+	Pending int
+}
+
+// Trace is everything a program execution observes about the
+// scheduler. Two engines agree exactly when their Traces are equal.
+type Trace struct {
+	Fires []Fire
+	Marks []Mark
+	Now   sim.Time
+	Fired uint64
+}
+
+// Run replays the program against a fresh scheduler backed by the
+// given engine and returns its trace. Event IDs are drawn from one
+// counter shared by schedule-time and fire-time (nested children)
+// assignment; the counter advances identically on both engines as long
+// as the fire orders agree, and once they disagree the Fires records
+// differ anyway.
+func (p Program) Run(engine sim.Engine) Trace {
+	s := sim.NewSchedulerEngine(engine)
+	var tr Trace
+	var handles []*sim.Event
+	nextID := 0
+
+	note := func(id int) {
+		tr.Fires = append(tr.Fires, Fire{ID: id, At: s.Now(), Fired: s.EventsFired()})
+	}
+	noteCB := func(_ sim.Time, arg any) { note(arg.(int)) }
+	closure := func(id int) func() { return func() { note(id) } }
+
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpSchedule:
+			id := nextID
+			nextID++
+			handles = append(handles, s.Schedule(op.Delay, closure(id)))
+		case OpScheduleCall:
+			id := nextID
+			nextID++
+			s.ScheduleCall(op.Delay, noteCB, id)
+		case OpCancel:
+			if len(handles) > 0 {
+				handles[op.Pick%len(handles)].Cancel()
+			}
+		case OpReschedule:
+			if len(handles) > 0 {
+				handles[op.Pick%len(handles)].Cancel()
+				id := nextID
+				nextID++
+				handles = append(handles, s.Schedule(op.Delay, closure(id)))
+			}
+		case OpNested:
+			id := nextID
+			nextID++
+			child := op.Child
+			s.Schedule(op.Delay, func() {
+				note(id)
+				cid := nextID
+				nextID++
+				s.ScheduleCall(child, noteCB, cid)
+			})
+		case OpStep:
+			s.Step()
+		case OpRunUntil:
+			s.RunUntil(s.Now() + op.Delay)
+		}
+		tr.Marks = append(tr.Marks, Mark{Now: s.Now(), Fired: s.EventsFired(), Pending: s.Pending()})
+	}
+	s.Run()
+	tr.Now, tr.Fired = s.Now(), s.EventsFired()
+	return tr
+}
+
+// Diff compares two traces and describes the first divergence, or
+// returns "" when they are identical.
+func Diff(a, b Trace) string {
+	for i := 0; i < len(a.Fires) && i < len(b.Fires); i++ {
+		if a.Fires[i] != b.Fires[i] {
+			return fmt.Sprintf("fire %d: %+v vs %+v", i, a.Fires[i], b.Fires[i])
+		}
+	}
+	if len(a.Fires) != len(b.Fires) {
+		return fmt.Sprintf("fire counts differ: %d vs %d", len(a.Fires), len(b.Fires))
+	}
+	for i := 0; i < len(a.Marks) && i < len(b.Marks); i++ {
+		if a.Marks[i] != b.Marks[i] {
+			return fmt.Sprintf("after op %d: %+v vs %+v", i, a.Marks[i], b.Marks[i])
+		}
+	}
+	if len(a.Marks) != len(b.Marks) {
+		return fmt.Sprintf("mark counts differ: %d vs %d", len(a.Marks), len(b.Marks))
+	}
+	if a.Now != b.Now || a.Fired != b.Fired {
+		return fmt.Sprintf("final state: now %v fired %d vs now %v fired %d", a.Now, a.Fired, b.Now, b.Fired)
+	}
+	return ""
+}
+
+// Check runs p against both engines and returns "" on agreement, or a
+// report carrying the divergence, the seed, and a delta-debugged
+// minimal program.
+func Check(p Program) string {
+	d := Diff(p.Run(sim.EngineCalendar), p.Run(sim.EngineHeap))
+	if d == "" {
+		return ""
+	}
+	m := Minimize(p)
+	var b strings.Builder
+	fmt.Fprintf(&b, "engines diverged (seed %d): %s\n", p.Seed, d)
+	fmt.Fprintf(&b, "minimal reproducer (%d of %d ops):", len(m.Ops), len(p.Ops))
+	for _, op := range m.Ops {
+		fmt.Fprintf(&b, " %v", op)
+	}
+	return b.String()
+}
+
+// Minimize shrinks a program that makes the engines diverge, removing
+// chunks of operations while the divergence persists (ddmin over the
+// op list). The result still diverges; if p does not diverge it is
+// returned unchanged.
+func Minimize(p Program) Program {
+	fails := func(ops []Op) bool {
+		q := Program{Seed: p.Seed, Ops: ops}
+		return Diff(q.Run(sim.EngineCalendar), q.Run(sim.EngineHeap)) != ""
+	}
+	return Program{Seed: p.Seed, Ops: minimizeOps(p.Ops, fails)}
+}
+
+// minimizeOps is the engine-agnostic shrinker: it greedily deletes
+// chunks of halving sizes as long as fails keeps reporting true.
+func minimizeOps(ops []Op, fails func([]Op) bool) []Op {
+	if !fails(ops) {
+		return ops
+	}
+	for chunk := (len(ops) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(ops); {
+			trial := make([]Op, 0, len(ops)-chunk)
+			trial = append(trial, ops[:i]...)
+			trial = append(trial, ops[i+chunk:]...)
+			if fails(trial) {
+				ops = trial
+			} else {
+				i += chunk
+			}
+		}
+	}
+	return ops
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "container/heap"
+
+// refQueue is the original container/heap event queue, retained as the
+// reference implementation for the differential test harness
+// (internal/sim/difftest) and for regression triage: the calendar
+// queue must reproduce its pop sequence exactly, and when the two ever
+// disagree the heap is the specification. It orders events by
+// (when, seq) with O(log n) push and pop.
+type refQueue struct {
+	h eventHeap
+}
+
+func newRefQueue() *refQueue { return &refQueue{} }
+
+func (q *refQueue) size() int { return len(q.h) }
+
+func (q *refQueue) push(e *Event) { heap.Push(&q.h, e) }
+
+func (q *refQueue) peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *refQueue) pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,28 +1,37 @@
 #!/bin/sh
-# bench.sh — run the repo's benchmarks and write a JSON baseline.
+# bench.sh — run the repo's benchmarks, write a JSON baseline, and
+# optionally gate against an earlier one.
 #
 # Usage:
 #   scripts/bench.sh                          # all benchmarks, 1 iteration each
 #   scripts/bench.sh -p 'Fig5|Throughput'     # subset by pattern
 #   scripts/bench.sh -n 3x -o BENCH_baseline.json
+#   scripts/bench.sh -o BENCH_pr.json -c BENCH_baseline.json
 #
 # No make, no external tooling: POSIX sh + go + awk. The output
-# captures ns/op and any custom metrics (e.g. instrs/s) per benchmark,
-# plus enough provenance (go version, git revision) to interpret a
-# baseline later. Compare a fresh run against BENCH_baseline.json to
-# spot throughput regressions; the tracing-disabled hot path is the
-# number to watch when touching instrumented code.
+# captures ns/op and any custom metrics (e.g. instrs/s, events/s) per
+# benchmark, plus enough provenance (go version, git revision) to
+# interpret a baseline later. Benchmarks come from the experiments
+# package at the repo root and the scheduler microbenchmarks in
+# internal/sim.
+#
+# With -c FILE the fresh run is compared against FILE: any benchmark
+# present in both whose ns/op worsened by more than 10% fails the
+# script (exit 1), which is the CI throughput-regression gate.
+# Benchmarks present on only one side (new or retired) are skipped.
 set -eu
 
 pattern='.'
 benchtime='1x'
 out='BENCH_baseline.json'
-while getopts 'p:n:o:' opt; do
+compare=''
+while getopts 'p:n:o:c:' opt; do
   case $opt in
     p) pattern=$OPTARG ;;
     n) benchtime=$OPTARG ;;
     o) out=$OPTARG ;;
-    *) echo "usage: $0 [-p pattern] [-n benchtime] [-o out.json]" >&2; exit 2 ;;
+    c) compare=$OPTARG ;;
+    *) echo "usage: $0 [-p pattern] [-n benchtime] [-o out.json] [-c baseline.json]" >&2; exit 2 ;;
   esac
 done
 
@@ -32,7 +41,12 @@ goversion=$(go version | awk '{print $3}')
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count 1 .)
+# The experiment benchmarks each simulate millions of events, so one
+# iteration is a stable sample; the scheduler microbenchmarks are
+# nanosecond-scale and need many iterations for the same stability.
+sim_benchtime='200000x'
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count 1 .
+      go test -run '^$' -bench "$pattern" -benchtime "$sim_benchtime" -count 1 ./internal/sim)
 
 printf '%s\n' "$raw" | awk -v goversion="$goversion" -v rev="$rev" -v stamp="$stamp" '
 BEGIN {
@@ -54,3 +68,43 @@ END { printf "\n ]\n}\n" }
 
 count=$(grep -c '"name"' "$out" || true)
 echo "bench.sh: wrote $count benchmark(s) to $out"
+
+if [ -n "$compare" ]; then
+  [ -f "$compare" ] || { echo "bench.sh: baseline $compare not found" >&2; exit 2; }
+  awk -v old="$compare" -v new="$out" '
+  function parse(file, arr,   line, name, ns) {
+    while ((getline line < file) > 0) {
+      if (line !~ /"name"/) continue
+      match(line, /"name": "[^"]*"/)
+      name = substr(line, RSTART + 9, RLENGTH - 10)
+      match(line, /"ns_per_op": [0-9.e+]+/)
+      ns = substr(line, RSTART + 13, RLENGTH - 13)
+      arr[name] = ns + 0
+    }
+    close(file)
+  }
+  BEGIN {
+    parse(old, base)
+    parse(new, cur)
+    fails = 0
+    shared = 0
+    for (name in cur) {
+      if (!(name in base)) continue
+      shared++
+      if (cur[name] > base[name] * 1.10) {
+        printf "bench.sh: REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+          name, base[name], cur[name], (cur[name] / base[name] - 1) * 100
+        fails++
+      }
+    }
+    if (shared == 0) {
+      print "bench.sh: no benchmarks shared with baseline; nothing compared" > "/dev/stderr"
+      exit 2
+    }
+    if (fails) {
+      printf "bench.sh: %d of %d shared benchmark(s) regressed >10%% vs %s\n", fails, shared, old
+      exit 1
+    }
+    printf "bench.sh: %d shared benchmark(s) within 10%% of %s\n", shared, old
+  }'
+fi
