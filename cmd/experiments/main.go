@@ -15,13 +15,15 @@
 //	experiments -checkpoint runs.json            # record every completed run
 //	experiments -checkpoint runs.json -resume    # skip specs an earlier batch finished
 //
-// SIGINT cancels in-flight runs at event-loop granularity and flushes
-// the checkpoint before exit, so a `-resume` rerun picks up where the
-// interrupted batch stopped.
+// SIGINT and SIGTERM both cancel in-flight runs at event-loop
+// granularity and flush the checkpoint before exit, so a `-resume`
+// rerun picks up where the interrupted batch stopped whether the
+// interruption was a Ctrl-C or a supervisor's `kill`. A second signal
+// skips the graceful path and exits immediately.
 //
 // Exit status: 0 when every run completed, 1 on a hard failure, 3 when
 // the batch finished degraded (some runs failed under -keep-going),
-// 130 when interrupted.
+// 130 when interrupted by SIGINT, 143 by SIGTERM.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -38,13 +41,25 @@ import (
 )
 
 // Exit codes; complete, degraded, and failed batches are
-// distinguishable to calling scripts.
+// distinguishable to calling scripts, and the two interruption
+// signals report the conventional 128+signo so a supervisor can tell
+// its own SIGTERM from an operator's Ctrl-C.
 const (
 	exitOK          = 0
 	exitFailed      = 1
 	exitDegraded    = 3
-	exitInterrupted = 130
+	exitInterrupted = 130 // 128 + SIGINT
+	exitTerminated  = 143 // 128 + SIGTERM
 )
+
+// sigExitCode maps an interruption signal to its conventional exit
+// status.
+func sigExitCode(sig os.Signal) int {
+	if sig == syscall.SIGTERM {
+		return exitTerminated
+	}
+	return exitInterrupted
+}
 
 func main() { os.Exit(run()) }
 
@@ -94,14 +109,40 @@ func run() int {
 		if err != nil {
 			return fatal(err)
 		}
+		if q := m.Quarantined(); q != "" {
+			fmt.Fprintf(os.Stderr, "experiments: checkpoint %s was corrupt (quarantined as %s); starting fresh\n",
+				*checkpoint, q)
+		}
 		fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d completed specs)\n", *checkpoint, m.Len())
 		manifest = m
 	case *checkpoint != "":
 		manifest = experiments.NewManifest(*checkpoint)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Both SIGINT (Ctrl-C) and SIGTERM (a supervisor's kill) take the
+	// graceful path: cancel the batch context so in-flight runs stop at
+	// event-loop granularity and the manifest flushes before exit. The
+	// exit code records which signal arrived; a second signal of either
+	// kind exits immediately with the conventional status, bypassing
+	// the flush — that is the operator's escape hatch, not the normal
+	// shutdown.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	var exitSig atomic.Int32
+	go func() {
+		sig, ok := <-sigs
+		if !ok {
+			return
+		}
+		exitSig.Store(int32(sigExitCode(sig)))
+		cancel(fmt.Errorf("received %v", sig))
+		if sig, ok = <-sigs; ok {
+			os.Exit(sigExitCode(sig))
+		}
+	}()
 
 	opt.Instrs = *instrs
 	opt.Warmup = *warmup
@@ -171,10 +212,13 @@ func run() int {
 	switch {
 	case ctx.Err() != nil:
 		if manifest != nil {
-			fmt.Fprintf(os.Stderr, "experiments: interrupted; rerun with -checkpoint %s -resume to continue\n",
-				manifest.Path())
+			fmt.Fprintf(os.Stderr, "experiments: interrupted (%v); rerun with -checkpoint %s -resume to continue\n",
+				context.Cause(ctx), manifest.Path())
 		} else {
-			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			fmt.Fprintf(os.Stderr, "experiments: interrupted (%v)\n", context.Cause(ctx))
+		}
+		if code := int(exitSig.Load()); code != 0 {
+			return code
 		}
 		return exitInterrupted
 	case hardFailed:

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"syscall"
+	"testing"
+)
+
+func TestSigExitCode(t *testing.T) {
+	// The conventional 128+N codes: SIGTERM and SIGINT must be
+	// distinguishable to supervisors watching the exit status.
+	if got := sigExitCode(syscall.SIGTERM); got != exitTerminated {
+		t.Errorf("SIGTERM -> %d, want %d", got, exitTerminated)
+	}
+	if got := sigExitCode(syscall.SIGINT); got != exitInterrupted {
+		t.Errorf("SIGINT -> %d, want %d", got, exitInterrupted)
+	}
+}

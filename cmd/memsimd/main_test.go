@@ -1,0 +1,15 @@
+package main
+
+import (
+	"syscall"
+	"testing"
+)
+
+func TestSigExitCode(t *testing.T) {
+	if got := sigExitCode(syscall.SIGTERM); got != 143 {
+		t.Errorf("SIGTERM -> %d, want 143", got)
+	}
+	if got := sigExitCode(syscall.SIGINT); got != 130 {
+		t.Errorf("SIGINT -> %d, want 130", got)
+	}
+}

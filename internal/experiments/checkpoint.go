@@ -47,10 +47,11 @@ type ManifestEntry struct {
 // an interruption at any point loses at most the runs in flight. It is
 // safe for concurrent use by the worker pool.
 type Manifest struct {
-	mu      sync.Mutex
-	path    string
-	entries map[string]*ManifestEntry
-	saveErr error // first flush failure, surfaced by Save
+	mu          sync.Mutex
+	path        string
+	entries     map[string]*ManifestEntry
+	saveErr     error  // first flush failure, surfaced by Save
+	quarantined string // where a corrupt predecessor was moved, "" if none
 }
 
 // manifestFile is the serialized layout.
@@ -66,8 +67,14 @@ func NewManifest(path string) *Manifest {
 
 // LoadManifest reads the manifest at path for resumption. A missing
 // file yields an empty manifest (resuming a batch that never started
-// is just starting it); a present but unreadable or incompatible file
-// is an error, since silently ignoring it would re-run everything.
+// is just starting it). A file that does not parse as JSON — the
+// signature of a partial write during a crash, since a healthy flush
+// is atomic — is quarantined as path+".corrupt" and a fresh manifest
+// takes its place, so one damaged checkpoint costs re-running its
+// specs rather than failing the whole resume; Quarantined reports the
+// move so callers can warn. An unreadable file or a version mismatch
+// (a deliberate schema change, not crash damage) stays a hard error,
+// since silently ignoring it would re-run everything.
 func LoadManifest(path string) (*Manifest, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -78,7 +85,13 @@ func LoadManifest(path string) (*Manifest, error) {
 	}
 	var f manifestFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		q := path + ".corrupt"
+		if rerr := os.Rename(path, q); rerr != nil {
+			return nil, fmt.Errorf("checkpoint %s: unparseable (%v) and quarantine failed: %w", path, err, rerr)
+		}
+		m := NewManifest(path)
+		m.quarantined = q
+		return m, nil
 	}
 	if f.Version != manifestVersion {
 		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, f.Version, manifestVersion)
@@ -89,6 +102,10 @@ func LoadManifest(path string) (*Manifest, error) {
 	}
 	return m, nil
 }
+
+// Quarantined reports where LoadManifest moved a corrupt predecessor
+// of this manifest, or "" when the load was clean.
+func (m *Manifest) Quarantined() string { return m.quarantined }
 
 // Path reports where the manifest persists.
 func (m *Manifest) Path() string { return m.path }

@@ -231,14 +231,40 @@ func TestManifestLoadErrors(t *testing.T) {
 		t.Errorf("missing manifest not empty: %d entries", m.Len())
 	}
 
+	// Malformed JSON — the signature of a crash mid-write — is
+	// quarantined and a fresh manifest starts, so one damaged
+	// checkpoint costs re-running its specs rather than the resume.
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadManifest(bad); err == nil {
-		t.Error("malformed manifest accepted")
+	m, err = LoadManifest(bad)
+	if err != nil {
+		t.Fatalf("corrupt manifest must quarantine, not fail: %v", err)
+	}
+	if m.Quarantined() != bad+".corrupt" {
+		t.Errorf("quarantined = %q", m.Quarantined())
+	}
+	if m.Len() != 0 {
+		t.Errorf("fresh manifest not empty: %d entries", m.Len())
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Errorf("corrupt file not preserved for inspection: %v", err)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in place: %v", err)
+	}
+	// The replacement manifest must be fully usable at the same path.
+	if err := m.Record("k1", "gcc", core.Result{IPC: 1}, nil); err != nil {
+		t.Fatalf("fresh manifest not writable: %v", err)
+	}
+	reloaded, err := LoadManifest(bad)
+	if err != nil || reloaded.Len() != 1 {
+		t.Fatalf("reload after quarantine: %v, %d entries", err, reloaded.Len())
 	}
 
+	// A version mismatch is a deliberate schema change, not crash
+	// damage: it stays a hard error.
 	wrong := filepath.Join(dir, "wrong.json")
 	if err := os.WriteFile(wrong, []byte(`{"version": 99, "entries": {}}`), 0o644); err != nil {
 		t.Fatal(err)

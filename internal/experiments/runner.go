@@ -422,6 +422,16 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// RunBenches runs one configuration across the active benchmark suite,
+// returning results in suite order. It is the service seam: cmd/memsimd
+// jobs resolve through the same worker pool, checkpoint reuse, retry
+// policy, and cancellation plumbing as the batch experiments, so a
+// daemon restart resumes a half-finished job from its manifest exactly
+// like `experiments -resume` resumes a batch.
+func (r *Runner) RunBenches(cfg core.Config, swpf bool) ([]core.Result, error) {
+	return r.perBench(cfg, swpf)
+}
+
 // perBench runs one configuration across the whole active suite,
 // returning results keyed by benchmark order.
 func (r *Runner) perBench(cfg core.Config, swpf bool) ([]core.Result, error) {

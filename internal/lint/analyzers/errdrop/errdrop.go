@@ -24,7 +24,10 @@
 //   - Record and Save on the checkpoint Manifest;
 //   - any method named Flush whose only result is an error
 //     (tabwriter and friends: a dropped Flush error truncates report
-//     output silently).
+//     output silently);
+//   - http.ResponseWriter.Write and json's Encoder.Encode (the
+//     memsimd handler surface: a dropped write or encode error hands
+//     the client a silently truncated response).
 package errdrop
 
 import (
@@ -93,6 +96,14 @@ func watched(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
 	case "Flush":
 		if recv != "" && onlyError(fn) {
 			return display(fn, recv), "a failed flush truncates the report silently"
+		}
+	case "Write":
+		if recv == "ResponseWriter" && pkgNamed(fn, "http") {
+			return display(fn, recv), "a failed response write leaves the client a truncated body; at least log it"
+		}
+	case "Encode":
+		if recv == "Encoder" && pkgNamed(fn, "json") {
+			return display(fn, recv), "an encode failure truncates the JSON response silently; at least log it"
 		}
 	}
 	return "", ""

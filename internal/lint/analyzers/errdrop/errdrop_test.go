@@ -15,3 +15,9 @@ import (
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", errdrop.Analyzer, "a")
 }
+
+// TestHandlerFixtures covers the HTTP handler surface: discarded
+// errors from http.ResponseWriter.Write and json's Encoder.Encode.
+func TestHandlerFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "srv")
+}

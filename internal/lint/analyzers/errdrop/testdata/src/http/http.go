@@ -1,0 +1,9 @@
+// Package http stubs the net/http handler surface (matched by package
+// name http + receiver type ResponseWriter).
+package http
+
+// ResponseWriter mirrors the real interface's write surface.
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}

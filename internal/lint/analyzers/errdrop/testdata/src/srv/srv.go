@@ -1,0 +1,45 @@
+// Package srv exercises the handler-path checks: discarded errors from
+// http.ResponseWriter.Write and json's Encoder.Encode, the two calls a
+// memsimd HTTP handler most easily fires and forgets.
+package srv
+
+import (
+	"http"
+	"json"
+)
+
+func dropped(w http.ResponseWriter, enc *json.Encoder) {
+	w.Write([]byte("ok"))    // want `error returned by ResponseWriter.Write is discarded`
+	enc.Encode(struct{}{})   // want `error returned by Encoder.Encode is discarded`
+	defer enc.Encode(nil)    // want `error returned by Encoder.Encode is discarded`
+	go w.Write([]byte("bg")) // want `error returned by ResponseWriter.Write is discarded`
+}
+
+// fileWriter has the same Write shape but is not a ResponseWriter:
+// io.Writer idiom stays unwatched.
+type fileWriter struct{}
+
+func (fileWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// logf mimics a logging sink: Encode on a non-json Encoder type name
+// in another package is not watched either.
+type jsonish struct{}
+
+func (jsonish) Encode(v any) error { return nil }
+
+func allowed(w http.ResponseWriter, enc *json.Encoder, dec *json.Decoder, fw fileWriter, j jsonish) error {
+	if _, err := w.Write(nil); err != nil {
+		return err
+	}
+	_, _ = w.Write(nil) // explicit, visible discard
+	if err := enc.Encode(nil); err != nil {
+		return err
+	}
+	fw.Write(nil)   // not a ResponseWriter
+	j.Encode(nil)   // not the json Encoder
+	dec.Decode(nil) // Decode is not watched
+	w.WriteHeader(200)
+	//lint:ignore errdrop fixture: headers already sent, nothing to do
+	enc.Encode(nil)
+	return nil
+}

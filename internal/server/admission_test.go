@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAdmissionWatermarks(t *testing.T) {
+	a := newAdmission(2, 1) // queue of 2, one worker
+
+	if !a.tryAdmit() || !a.tryAdmit() {
+		t.Fatal("admissions under the watermark refused")
+	}
+	if a.tryAdmit() {
+		t.Fatal("queue watermark not enforced")
+	}
+	a.start() // one job moves to a worker: a queue slot frees...
+	if !a.tryAdmit() {
+		t.Fatal("freed queue slot refused")
+	}
+	// ...but now queued+running == maxActive, so the gate holds again.
+	if a.tryAdmit() {
+		t.Fatal("in-flight watermark not enforced")
+	}
+	a.finish() // running job retires, but the queue itself is still full
+	if a.tryAdmit() {
+		t.Fatal("queue watermark ignored after finish")
+	}
+	a.start() // a queued job moves to the freed worker
+	if !a.tryAdmit() {
+		t.Fatal("freed queue slot refused after start")
+	}
+	q, r := a.depths()
+	if q != 2 || r != 1 {
+		t.Fatalf("depths = %d, %d", q, r)
+	}
+}
+
+func TestAdmissionAdoptBypassesWatermark(t *testing.T) {
+	a := newAdmission(1, 1)
+	// Restart re-adoption must never shed previously admitted jobs,
+	// even past the watermark.
+	for i := 0; i < 5; i++ {
+		a.adopt()
+	}
+	if q, _ := a.depths(); q != 5 {
+		t.Fatalf("adopted depth = %d", q)
+	}
+	if a.tryAdmit() {
+		t.Fatal("new work admitted over adopted backlog")
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	l := newRateLimiter(2, 2) // 2 tokens/s, burst 2
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a", now); !ok {
+			t.Fatalf("burst submission %d refused", i)
+		}
+	}
+	ok, retry := l.allow("a", now)
+	if ok {
+		t.Fatal("empty bucket allowed a submission")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint = %v", retry)
+	}
+	// Another client is an independent bucket.
+	if ok, _ := l.allow("b", now); !ok {
+		t.Fatal("independent client throttled")
+	}
+	// Half a second earns one token at 2/s.
+	if ok, _ := l.allow("a", now.Add(500*time.Millisecond)); !ok {
+		t.Fatal("refill not credited")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := newRateLimiter(-1, 1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("a", time.Unix(1000, 0)); !ok {
+			t.Fatal("disabled limiter throttled")
+		}
+	}
+}
+
+func TestRateLimiterBoundsClientTable(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	// A hostile sweep of distinct client ids must not grow memory
+	// without bound.
+	for i := 0; i < 4*maxClients; i++ {
+		l.allow(fmt.Sprintf("client-%d", i), now.Add(time.Duration(i)*time.Millisecond))
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxClients {
+		t.Fatalf("bucket table grew to %d (max %d)", n, maxClients)
+	}
+}

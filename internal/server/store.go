@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// storeVersion guards the jobs.json schema, mirroring the checkpoint
+// manifest's version gate.
+const storeVersion = 1
+
+// storeFile is the serialized layout of jobs.json.
+type storeFile struct {
+	Version int             `json:"version"`
+	NextSeq uint64          `json:"next_seq"`
+	Jobs    map[string]*Job `json:"jobs"`
+}
+
+// Store is the durable job store: every job record lives in one
+// jobs.json inside the state directory, flushed atomically (temp file
+// + rename) after every transition, alongside one checkpoint manifest
+// per job carrying its per-spec results. Together they are the crash
+// safety of the service: jobs.json says which jobs were in flight,
+// the manifests say which of their specs already finished, and a
+// restarted daemon re-adopts the difference.
+type Store struct {
+	mu          sync.Mutex
+	dir         string
+	path        string
+	jobs        map[string]*Job
+	nextSeq     uint64
+	saveErr     error  // first flush failure, surfaced by Save
+	quarantined string // where a corrupt jobs.json was moved, "" if none
+}
+
+// OpenStore opens (or initializes) the job store in dir. A jobs.json
+// that does not parse — the signature of a crash mid-write before the
+// atomic flush discipline existed, or of outside interference — is
+// quarantined as jobs.json.corrupt and a fresh store starts, matching
+// the checkpoint manifest's degradation policy: losing job metadata
+// must not brick the service.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		path: filepath.Join(dir, "jobs.json"),
+		jobs: make(map[string]*Job),
+	}
+	data, err := os.ReadFile(s.path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		q := s.path + ".corrupt"
+		if rerr := os.Rename(s.path, q); rerr != nil {
+			return nil, fmt.Errorf("store %s: unparseable (%v) and quarantine failed: %w", s.path, err, rerr)
+		}
+		s.quarantined = q
+		return s, nil
+	}
+	if f.Version != storeVersion {
+		return nil, fmt.Errorf("store %s: version %d, want %d", s.path, f.Version, storeVersion)
+	}
+	if f.Jobs != nil {
+		s.jobs = f.Jobs
+	}
+	s.nextSeq = f.NextSeq
+	return s, nil
+}
+
+// Quarantined reports where OpenStore moved a corrupt jobs.json, or ""
+// when the load was clean.
+func (s *Store) Quarantined() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Dir reports the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ManifestPath is where a job's per-spec checkpoint manifest lives.
+func (s *Store) ManifestPath(id string) string {
+	return filepath.Join(s.dir, "job-"+id+".manifest.json")
+}
+
+// Create allocates, records, and persists a new queued job.
+func (s *Store) Create(spec JobSpec, benches []string, client string, now time.Time) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq++
+	j := &Job{
+		ID:         fmt.Sprintf("j%06d", s.nextSeq),
+		Seq:        s.nextSeq,
+		State:      StateQueued,
+		Spec:       spec,
+		Benchmarks: benches,
+		Client:     client,
+		EnqueuedAt: now.UTC(),
+	}
+	s.jobs[j.ID] = j
+	return *j, s.flushLocked()
+}
+
+// Get returns a copy of the job record.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Update applies mutate to the job under the store lock and persists
+// the result, returning the updated copy.
+func (s *Store) Update(id string, mutate func(*Job)) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("store: no job %s", id)
+	}
+	mutate(j)
+	return *j, s.flushLocked()
+}
+
+// List returns every job record in allocation order.
+func (s *Store) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return out
+}
+
+// Pending returns the jobs a (re)started daemon must enqueue, in
+// allocation order: queued jobs from a previous life, and running jobs
+// whose execution a crash or drain cut short.
+func (s *Store) Pending() []Job {
+	var out []Job
+	for _, j := range s.List() {
+		if j.State == StateQueued || j.State == StateRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Save flushes the store, reporting the first error from any earlier
+// flush as well; the drain path calls it so an interrupted daemon
+// leaves a complete record.
+func (s *Store) Save() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.saveErr
+}
+
+// flushLocked writes jobs.json atomically (temp file + rename), so a
+// kill mid-write never leaves a truncated store.
+func (s *Store) flushLocked() error {
+	data, err := json.MarshalIndent(storeFile{Version: storeVersion, NextSeq: s.nextSeq, Jobs: s.jobs}, "", "  ")
+	if err == nil {
+		tmp := s.path + ".tmp"
+		if err = os.WriteFile(tmp, data, 0o644); err == nil {
+			err = os.Rename(tmp, s.path)
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("store %s: %w", filepath.Base(s.path), err)
+		if s.saveErr == nil {
+			s.saveErr = err
+		}
+	}
+	return err
+}

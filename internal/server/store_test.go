@@ -1,0 +1,112 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s.Create(JobSpec{Preset: "base"}, []string{"gcc"}, "c1", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Create(JobSpec{Preset: "tuned"}, []string{"mcf"}, "c2", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID == j2.ID || j1.Seq >= j2.Seq {
+		t.Fatalf("bad allocation: %+v %+v", j1, j2)
+	}
+	if _, err := s.Update(j1.ID, func(j *Job) { j.State = StateRunning }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: records, sequence counter, and pending set must survive.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(j1.ID)
+	if !ok || got.State != StateRunning || got.Spec.Preset != "base" {
+		t.Fatalf("reloaded job = %+v, %v", got, ok)
+	}
+	pending := s2.Pending()
+	if len(pending) != 2 || pending[0].ID != j1.ID || pending[1].ID != j2.ID {
+		t.Fatalf("pending = %+v", pending)
+	}
+	j3, err := s2.Create(JobSpec{}, []string{"art"}, "c3", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Seq != 3 {
+		t.Fatalf("sequence restarted: %+v", j3)
+	}
+}
+
+func TestStorePendingSkipsTerminal(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []JobState{StateQueued, StateDone, StateRunning, StateFailed, StateCanceled}
+	for _, st := range states {
+		j, err := s.Create(JobSpec{}, []string{"gcc"}, "", time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Update(j.ID, func(j *Job) { j.State = st }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := s.Pending()
+	if len(pending) != 2 {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if pending[0].State != StateQueued || pending[1].State != StateRunning {
+		t.Fatalf("pending order = %v, %v", pending[0].State, pending[1].State)
+	}
+}
+
+func TestStoreQuarantinesCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	// A truncated write: the signature of a crash without atomic flush.
+	if err := os.WriteFile(path, []byte(`{"version":1,"jobs":{"j0`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("corrupt store must not fail open: %v", err)
+	}
+	if s.Quarantined() != path+".corrupt" {
+		t.Fatalf("quarantined = %q", s.Quarantined())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not preserved: %v", err)
+	}
+	if len(s.List()) != 0 {
+		t.Fatalf("fresh store not empty: %+v", s.List())
+	}
+	// The fresh store must be fully usable.
+	if _, err := s.Create(JobSpec{}, []string{"gcc"}, "", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRejectsVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "jobs.json"),
+		[]byte(`{"version":99,"jobs":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("version mismatch must stay a hard error")
+	}
+}
