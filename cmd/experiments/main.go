@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"memsim/internal/experiments"
+	"memsim/internal/vfs"
 )
 
 // Exit codes; complete, degraded, and failed batches are
@@ -105,7 +106,7 @@ func run() int {
 	case *resume && *checkpoint == "":
 		return fatal(fmt.Errorf("-resume requires -checkpoint"))
 	case *resume:
-		m, err := experiments.LoadManifest(*checkpoint)
+		m, err := experiments.LoadManifestFS(*checkpoint, vfs.OS)
 		if err != nil {
 			return fatal(err)
 		}
@@ -116,7 +117,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d completed specs)\n", *checkpoint, m.Len())
 		manifest = m
 	case *checkpoint != "":
-		manifest = experiments.NewManifest(*checkpoint)
+		manifest = experiments.NewManifestFS(*checkpoint, vfs.OS)
 	}
 
 	// Both SIGINT (Ctrl-C) and SIGTERM (a supervisor's kill) take the

@@ -20,6 +20,7 @@ import (
 	"memsim/internal/channel"
 	"memsim/internal/dram"
 	"memsim/internal/sim"
+	"memsim/internal/vfs"
 )
 
 func main() {
@@ -161,18 +162,20 @@ func main() {
 	}
 }
 
-// exportObs writes the enabled observability outputs after a run.
+// exportObs writes the enabled observability outputs after a run,
+// through the vfs seam so the artifact writers share the durable
+// writers' fault-injection surface.
 func exportObs(ob *memsim.Observer, traceOut, metricsOut, metricsJSON, samplesOut string) error {
 	write := func(path string, emit func(io.Writer) error) error {
 		if path == "" {
 			return nil
 		}
-		f, err := os.Create(path)
+		f, err := vfs.OS.Create(path)
 		if err != nil {
 			return err
 		}
 		if err := emit(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		return f.Close()

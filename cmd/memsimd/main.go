@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"memsim/internal/server"
+	"memsim/internal/vfs"
 )
 
 const (
@@ -74,6 +75,7 @@ func run() int {
 		QueueDepth: *queueDepth,
 		RatePerSec: *rate,
 		Burst:      *burst,
+		FS:         vfs.OS,
 		Logger:     logger,
 	})
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"memsim"
 	"memsim/internal/trace"
+	"memsim/internal/vfs"
 )
 
 func main() {
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	if *record > 0 {
-		f, ferr := os.Create(*out)
+		f, ferr := vfs.OS.Create(*out)
 		if ferr != nil {
 			fatal(ferr)
 		}

@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"memsim/internal/obs"
+	"memsim/internal/vfs"
+)
+
+// Exploration knobs. Tier-1 uses the defaults; scripts/chaos.sh deepens
+// the sweep:
+//
+//	go test ./internal/chaos -args -chaos.seed=7 -chaos.rounds=64
+//
+// A failing drill from a CI log replays directly:
+//
+//	go test ./internal/chaos -run TestReplaySeq \
+//	    -args -chaos.scenario=memsimd-job -chaos.replay="torn@3 kill@7"
+var (
+	chaosSeed     = flag.Int64("chaos.seed", 1, "seed for the random multi-fault rounds")
+	chaosRounds   = flag.Int("chaos.rounds", 4, "random multi-fault sequences per scenario")
+	chaosScenario = flag.String("chaos.scenario", "", "scenario for TestReplaySeq")
+	chaosReplay   = flag.String("chaos.replay", "", "injection sequence for TestReplaySeq (FormatSeq syntax)")
+)
+
+// scenarioByName resolves the -chaos.scenario flag.
+func scenarioByName(name string) (Scenario, error) {
+	for _, sc := range []Scenario{ServerScenario(), BatchScenario(), sloppyScenario{}} {
+		if sc.Name() == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown scenario %q", name)
+}
+
+// explore drills sc with the command-line knobs and fails the test on
+// any divergence, printing the report with its reproduction lines.
+func explore(t *testing.T, sc Scenario, reg *obs.Registry) *Report {
+	t.Helper()
+	rep, err := Explore(sc, Options{
+		Seed:     *chaosSeed,
+		Rounds:   *chaosRounds,
+		Checker:  ManifestsRunOnce,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatal(rep)
+	}
+	return rep
+}
+
+// TestExploreServerScenario is the tentpole drill: every persistence
+// boundary of a full memsimd job lifecycle — store flushes, manifest
+// records, drain save — survives all five fault classes with
+// byte-identical recovered Results.
+func TestExploreServerScenario(t *testing.T) {
+	rep := explore(t, ServerScenario(), nil)
+	if rep.Boundaries < 8 {
+		t.Fatalf("only %d boundaries enumerated; the lifecycle should flush more than that", rep.Boundaries)
+	}
+	wantDrills := rep.Boundaries*len(vfs.Faults()) + *chaosRounds
+	if rep.Drills != wantDrills {
+		t.Fatalf("drills = %d, want %d", rep.Drills, wantDrills)
+	}
+}
+
+// TestExploreBatchScenario drills the experiments checkpoint path and
+// verifies the per-drill counters the obs registry exports.
+func TestExploreBatchScenario(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep := explore(t, BatchScenario(), reg)
+	if rep.Boundaries < 4 {
+		t.Fatalf("only %d boundaries enumerated", rep.Boundaries)
+	}
+
+	vals := reg.Values()
+	var drills float64
+	for name, v := range vals {
+		if strings.HasPrefix(name, "chaos_drills_total") {
+			drills += v
+		}
+		if strings.HasPrefix(name, "chaos_failures_total") && v != 0 {
+			t.Fatalf("failure counter nonzero: %s = %g", name, v)
+		}
+	}
+	// Every injection of every drill is counted; the exhaustive sweep
+	// alone contributes boundaries × classes.
+	if min := float64(rep.Boundaries * len(vfs.Faults())); drills < min {
+		t.Fatalf("chaos_drills_total = %g, want >= %g\nvalues: %v", drills, min, vals)
+	}
+	found := false
+	for name, v := range vals {
+		if strings.HasPrefix(name, "chaos_boundaries") {
+			found = true
+			if v != float64(rep.Boundaries) {
+				t.Fatalf("%s = %g, want %d", name, v, rep.Boundaries)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("chaos_boundaries gauge not exported; values: %v", vals)
+	}
+}
+
+// sloppyScenario is a planted durability bug: it writes its result
+// file in place (no temp-file-plus-rename) and "recovers" by trusting
+// whatever bytes survived. Torn, corrupt-tail, and partial-ENOSPC
+// writes at its single boundary all leave damaged bytes that the next
+// run happily returns — exactly the failure class the explorer and
+// shrinker exist to catch.
+type sloppyScenario struct{}
+
+func (sloppyScenario) Name() string { return "sloppy" }
+
+func (sloppyScenario) Run(f *vfs.Fault) ([]byte, error) {
+	if data, err := f.ReadFile("result"); err == nil {
+		return data, nil // trust surviving bytes — the bug
+	} else if errors.Is(err, vfs.ErrCrashed) {
+		return nil, err
+	}
+	data := []byte("the answer is 0x2a")
+	if err := f.WriteFile("result", data, 0o644); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// TestExplorerCatchesSloppyWriter proves the explorer detects a
+// missing atomic-flush discipline and the shrinker reduces every
+// failure to a minimal (here: single-injection) reproducer.
+func TestExplorerCatchesSloppyWriter(t *testing.T) {
+	rep, err := Explore(sloppyScenario{}, Options{Seed: *chaosSeed, Rounds: 16, MaxSeq: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("explorer missed the planted non-atomic writer")
+	}
+	// The damaging classes at the one write boundary must all be caught
+	// by the exhaustive sweep.
+	caught := map[string]bool{}
+	for _, f := range rep.Failures {
+		if len(f.Minimal) == 0 {
+			t.Fatalf("failure [%s] shrank to an empty sequence", FormatSeq(f.Seq))
+		}
+		if len(f.Minimal) != 1 {
+			t.Fatalf("failure [%s] shrank to [%s]; a single injection reproduces this bug",
+				FormatSeq(f.Seq), FormatSeq(f.Minimal))
+		}
+		caught[f.Minimal[0].Kind.String()] = true
+		// The minimal sequence must still fail on its own.
+		golden := []byte("the answer is 0x2a")
+		if RunSeq(sloppyScenario{}, nil, golden, f.Minimal) == nil {
+			t.Fatalf("minimal sequence [%s] does not reproduce", FormatSeq(f.Minimal))
+		}
+	}
+	for _, want := range []string{"torn", "corrupt", "enospc"} {
+		if !caught[want] {
+			t.Fatalf("fault class %s not caught; failures: %s", want, rep)
+		}
+	}
+	// Clean kills and EIOs lose nothing a rerun cannot rebuild, so the
+	// sweep must not flag them (no false positives).
+	for _, f := range rep.Failures {
+		if k := f.Minimal[0].Kind; k == vfs.FaultKill || k == vfs.FaultEIO {
+			t.Fatalf("false positive: %s at a lone in-place write recovers by rerunning", k)
+		}
+	}
+}
+
+// TestReplaySeq replays one injection sequence against one scenario,
+// the reproduction entry point printed in failure reports. Without
+// -chaos.replay it is a no-op.
+func TestReplaySeq(t *testing.T) {
+	if *chaosReplay == "" {
+		t.Skip("no -chaos.replay sequence given")
+	}
+	sc, err := scenarioByName(*chaosScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ParseSeq(*chaosReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := goldenRun(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSeq(sc, ManifestsRunOnce, golden, seq); err != nil {
+		t.Fatalf("sequence [%s] still fails: %v", FormatSeq(seq), err)
+	}
+}
+
+// TestParseSeqRoundTrip pins the reproduction syntax.
+func TestParseSeqRoundTrip(t *testing.T) {
+	seq := []Injection{{Op: 3, Kind: vfs.FaultTorn}, {Op: 0, Kind: vfs.FaultKill}, {Op: 11, Kind: vfs.FaultEIO}}
+	s := FormatSeq(seq)
+	if s != "torn@3 kill@0 eio@11" {
+		t.Fatalf("FormatSeq = %q", s)
+	}
+	back, err := ParseSeq(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatSeq(back) != s {
+		t.Fatalf("round trip = %q, want %q", FormatSeq(back), s)
+	}
+	if _, err := ParseSeq("bogus@1"); err == nil {
+		t.Fatal("unknown fault class parsed")
+	}
+	if _, err := ParseSeq("torn-3"); err == nil {
+		t.Fatal("malformed injection parsed")
+	}
+}
+
+// TestMinimizeIsGreedyDdmin pins the shrinker on a synthetic failure
+// predicate: only sequences containing both torn@2 and kill@5 fail,
+// and the minimizer must find exactly that pair from a noisy one.
+func TestMinimizeIsGreedyDdmin(t *testing.T) {
+	has := func(seq []Injection, want Injection) bool {
+		for _, inj := range seq {
+			if inj == want {
+				return true
+			}
+		}
+		return false
+	}
+	a, b := Injection{Op: 2, Kind: vfs.FaultTorn}, Injection{Op: 5, Kind: vfs.FaultKill}
+	fails := func(seq []Injection) bool { return has(seq, a) && has(seq, b) }
+	noisy := []Injection{
+		{Op: 9, Kind: vfs.FaultEIO}, a, {Op: 1, Kind: vfs.FaultENOSPC},
+		{Op: 4, Kind: vfs.FaultCorrupt}, b, {Op: 7, Kind: vfs.FaultKill},
+	}
+	got := Minimize(noisy, fails)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("minimal = [%s], want [%s]", FormatSeq(got), FormatSeq([]Injection{a, b}))
+	}
+	// A sequence that does not fail comes back untouched.
+	passing := []Injection{a}
+	if out := Minimize(passing, fails); len(out) != 1 || out[0] != a {
+		t.Fatalf("passing sequence mutated: [%s]", FormatSeq(out))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"memsim/internal/core"
+	"memsim/internal/vfs"
 )
 
 // manifestVersion guards the on-disk schema; a manifest written by an
@@ -48,6 +49,7 @@ type ManifestEntry struct {
 // safe for concurrent use by the worker pool.
 type Manifest struct {
 	mu          sync.Mutex
+	fs          vfs.FS
 	path        string
 	entries     map[string]*ManifestEntry
 	saveErr     error  // first flush failure, surfaced by Save
@@ -60,43 +62,54 @@ type manifestFile struct {
 	Entries map[string]*ManifestEntry `json:"entries"`
 }
 
-// NewManifest returns an empty manifest that will persist to path.
-func NewManifest(path string) *Manifest {
-	return &Manifest{path: path, entries: make(map[string]*ManifestEntry)}
+// NewManifest returns an empty manifest that will persist to path on
+// the real filesystem.
+func NewManifest(path string) *Manifest { return NewManifestFS(path, vfs.OS) }
+
+// NewManifestFS returns an empty manifest that will persist to path
+// on fsys.
+func NewManifestFS(path string, fsys vfs.FS) *Manifest {
+	return &Manifest{fs: fsys, path: path, entries: make(map[string]*ManifestEntry)}
 }
 
-// LoadManifest reads the manifest at path for resumption. A missing
-// file yields an empty manifest (resuming a batch that never started
-// is just starting it). A file that does not parse as JSON — the
-// signature of a partial write during a crash, since a healthy flush
-// is atomic — is quarantined as path+".corrupt" and a fresh manifest
-// takes its place, so one damaged checkpoint costs re-running its
-// specs rather than failing the whole resume; Quarantined reports the
-// move so callers can warn. An unreadable file or a version mismatch
-// (a deliberate schema change, not crash damage) stays a hard error,
-// since silently ignoring it would re-run everything.
-func LoadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
+// LoadManifest reads the manifest at path on the real filesystem. See
+// LoadManifestFS.
+func LoadManifest(path string) (*Manifest, error) { return LoadManifestFS(path, vfs.OS) }
+
+// LoadManifestFS reads the manifest at path on fsys for resumption. A
+// missing file yields an empty manifest (resuming a batch that never
+// started is just starting it). A file that does not parse as JSON —
+// the signature of a partial write during a crash, since a healthy
+// flush is atomic — is quarantined (path+".corrupt", then .corrupt.1,
+// .corrupt.2, ... so repeated corruptions keep their evidence) and a
+// fresh manifest takes its place, so one damaged checkpoint costs
+// re-running its specs rather than failing the whole resume;
+// Quarantined reports the move so callers can warn. An unreadable
+// file or a version mismatch (a deliberate schema change, not crash
+// damage) stays a hard error, since silently ignoring it would re-run
+// everything.
+func LoadManifestFS(path string, fsys vfs.FS) (*Manifest, error) {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
-		return NewManifest(path), nil
+		return NewManifestFS(path, fsys), nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	var f manifestFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		q := path + ".corrupt"
-		if rerr := os.Rename(path, q); rerr != nil {
-			return nil, fmt.Errorf("checkpoint %s: unparseable (%v) and quarantine failed: %w", path, err, rerr)
+		q, qerr := vfs.Quarantine(fsys, path)
+		if qerr != nil {
+			return nil, fmt.Errorf("checkpoint %s: unparseable (%v) and quarantine failed: %w", path, err, qerr)
 		}
-		m := NewManifest(path)
+		m := NewManifestFS(path, fsys)
 		m.quarantined = q
 		return m, nil
 	}
 	if f.Version != manifestVersion {
 		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, f.Version, manifestVersion)
 	}
-	m := NewManifest(path)
+	m := NewManifestFS(path, fsys)
 	if f.Entries != nil {
 		m.entries = f.Entries
 	}
@@ -176,10 +189,7 @@ func (m *Manifest) Save() error {
 func (m *Manifest) flushLocked() error {
 	data, err := json.MarshalIndent(manifestFile{Version: manifestVersion, Entries: m.entries}, "", "  ")
 	if err == nil {
-		tmp := m.path + ".tmp"
-		if err = os.WriteFile(tmp, data, 0o644); err == nil {
-			err = os.Rename(tmp, m.path)
-		}
+		err = vfs.WriteFileAtomic(m.fs, m.path, data, 0o644)
 	}
 	if err != nil {
 		err = fmt.Errorf("checkpoint %s: %w", filepath.Base(m.path), err)

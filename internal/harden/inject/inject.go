@@ -8,6 +8,11 @@
 // Nth event of the class's trigger domain (demand completions for the
 // completion faults, demand submissions for the channel and accounting
 // faults), so two runs of the same plan perturb the same request.
+//
+// This package perturbs the simulator's in-memory dataflow; its
+// storage-side counterpart is internal/chaos, which drills the durable
+// writers through the internal/vfs seam with crash-point and I/O-fault
+// injection (DESIGN.md §13).
 package inject
 
 import (

@@ -27,7 +27,12 @@
 //     output silently);
 //   - http.ResponseWriter.Write and json's Encoder.Encode (the
 //     memsimd handler surface: a dropped write or encode error hands
-//     the client a silently truncated response).
+//     the client a silently truncated response);
+//   - the vfs seam's mutating surface — FS.WriteFile, FS.Rename,
+//     FS.Remove, FS.MkdirAll, File.Sync, File.Close, and the
+//     WriteFileAtomic and Quarantine helpers: every durable writer
+//     funnels through these, and a dropped error there is precisely
+//     the silent data loss the chaos explorer exists to rule out.
 package errdrop
 
 import (
@@ -104,6 +109,18 @@ func watched(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
 	case "Encode":
 		if recv == "Encoder" && pkgNamed(fn, "json") {
 			return display(fn, recv), "an encode failure truncates the JSON response silently; at least log it"
+		}
+	case "WriteFile", "Rename", "Remove", "MkdirAll":
+		if recv == "FS" && pkgNamed(fn, "vfs") {
+			return display(fn, recv), "a failed persistence boundary means the bytes never reached disk; dropping it is silent data loss"
+		}
+	case "Sync", "Close":
+		if recv == "File" && pkgNamed(fn, "vfs") {
+			return display(fn, recv), "Sync/Close is the handle's publishing boundary; a dropped error leaves the file torn or unwritten"
+		}
+	case "WriteFileAtomic", "Quarantine":
+		if pkgNamed(fn, "vfs") {
+			return display(fn, recv), "the atomic-flush/quarantine helper failed; the durable state it guards was not updated"
 		}
 	}
 	return "", ""

@@ -21,3 +21,11 @@ func TestFixtures(t *testing.T) {
 func TestHandlerFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", errdrop.Analyzer, "srv")
 }
+
+// TestVFSFixtures covers the filesystem seam: discarded errors from
+// vfs.FS mutators, vfs.File Sync/Close, and the WriteFileAtomic and
+// Quarantine helpers — plus the unwatched lookalikes (plain Closers,
+// same-shaped local interfaces, reads).
+func TestVFSFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "dur")
+}

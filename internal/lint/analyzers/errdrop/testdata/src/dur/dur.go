@@ -1,0 +1,47 @@
+// Package dur exercises the vfs seam checks: every durable writer
+// funnels through FS/File, and a discarded error on that surface is
+// exactly the silent data loss the chaos explorer drills against.
+package dur
+
+import (
+	"vfs"
+)
+
+func dropped(fsys vfs.FS, f vfs.File) {
+	fsys.WriteFile("jobs.json", nil, 0o644)            // want `error returned by FS.WriteFile is discarded`
+	fsys.Rename("jobs.json.tmp", "jobs.json")          // want `error returned by FS.Rename is discarded`
+	fsys.Remove("jobs.json.tmp")                       // want `error returned by FS.Remove is discarded`
+	fsys.MkdirAll("state", 0o755)                      // want `error returned by FS.MkdirAll is discarded`
+	f.Sync()                                           // want `error returned by File.Sync is discarded`
+	defer f.Close()                                    // want `error returned by File.Close is discarded`
+	go f.Sync()                                        // want `error returned by File.Sync is discarded`
+	vfs.WriteFileAtomic(fsys, "jobs.json", nil, 0o644) // want `error returned by vfs.WriteFileAtomic is discarded`
+	vfs.Quarantine(fsys, "jobs.json")                  // want `error returned by vfs.Quarantine is discarded`
+}
+
+// closer has the same Close shape but is not the seam's File: plain
+// io.Closer idiom elsewhere stays unwatched.
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// localFS is a same-shaped interface outside package vfs: unwatched.
+type localFS interface {
+	Remove(name string) error
+}
+
+func allowed(fsys vfs.FS, f vfs.File, c closer, l localFS) error {
+	if err := fsys.WriteFile("jobs.json", nil, 0o644); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit, visible discard
+	if err := vfs.WriteFileAtomic(fsys, "jobs.json", nil, 0o644); err != nil {
+		return err
+	}
+	c.Close()                  // not the seam's File
+	l.Remove("x")              // not the seam's FS
+	fsys.ReadFile("jobs.json") // reads are not a persistence boundary
+	//lint:ignore errdrop fixture: best-effort cleanup of a temp file
+	fsys.Remove("jobs.json.tmp")
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package vfs stubs the filesystem seam (matched by package name vfs
+// plus receiver type FS or File, and the two package-level helpers).
+package vfs
+
+import "io/fs"
+
+// FS mirrors the seam's mutating surface.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File mirrors the seam's writable handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// WriteFileAtomic mirrors the atomic-flush helper.
+func WriteFileAtomic(fsys FS, name string, data []byte, perm fs.FileMode) error { return nil }
+
+// Quarantine mirrors the corrupt-evidence helper.
+func Quarantine(fsys FS, name string) (string, error) { return "", nil }

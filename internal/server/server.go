@@ -43,6 +43,7 @@ import (
 	"memsim/internal/core"
 	"memsim/internal/experiments"
 	"memsim/internal/obs"
+	"memsim/internal/vfs"
 )
 
 // Cancellation causes, distinguishable via errors.Is on the run error.
@@ -91,6 +92,10 @@ type Config struct {
 	WatchdogCycles int64
 	// MaxBodyBytes bounds a submission body (default 1 MiB).
 	MaxBodyBytes int64
+	// FS is the filesystem the store and the checkpoint manifests
+	// persist on (default vfs.OS); the chaos explorer substitutes a
+	// fault-injecting one.
+	FS vfs.FS
 	// Logger receives operational messages; nil logs to stderr.
 	Logger *log.Logger
 
@@ -139,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.FS == nil {
+		c.FS = vfs.OS
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "memsimd: ", log.LstdFlags)
 	}
@@ -180,7 +188,7 @@ type Service struct {
 // attach Handler to an http.Server to accept requests.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	store, err := OpenStore(cfg.StateDir)
+	store, err := OpenStoreFS(cfg.StateDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +328,7 @@ func (s *Service) execute(ctx context.Context, job Job) (results []core.Result, 
 		// carried a record from an incompatible deployment.
 		return nil, 0, fmt.Errorf("stored spec no longer builds: %w", err)
 	}
-	manifest, err := experiments.LoadManifest(s.store.ManifestPath(job.ID))
+	manifest, err := experiments.LoadManifestFS(s.store.ManifestPath(job.ID), s.cfg.FS)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -534,21 +542,35 @@ func (s *Service) writeError(w http.ResponseWriter, code int, e *apiError) {
 	s.writeJSON(w, code, errorBody{Error: *e})
 }
 
+// Bounds on the Retry-After estimate. Before any job has completed
+// there is no latency mean, so the estimate assumes
+// retryAfterDefaultPerJob seconds per queued job — pessimistic enough
+// that early clients back off meaningfully instead of hammering a
+// cold daemon. A measured mean of zero (sub-second jobs truncate to
+// it) gets the same treatment: the floor of retryAfterMinSeconds is
+// the contract, never a degenerate 0 that a client would read as
+// "retry immediately".
+const (
+	retryAfterDefaultPerJob = 5.0 // seconds per queued job with no latency mean yet
+	retryAfterMinSeconds    = 1
+	retryAfterMaxSeconds    = 120
+)
+
 // retryAfterSeconds estimates when a shed client should try again:
-// the queue's expected drain time at the current depth, bounded to
-// something a client would actually honor.
+// the queue's expected drain time at the current depth, clamped to
+// [retryAfterMinSeconds, retryAfterMaxSeconds].
 func (s *Service) retryAfterSeconds() int {
 	queued, running := s.adm.depths()
-	perJob := 5.0 // seconds; pessimistic default before any job finished
-	if avg, ok := s.met.jobSecondsAvg(); ok {
+	perJob := retryAfterDefaultPerJob
+	if avg, ok := s.met.jobSecondsAvg(); ok && avg > 0 {
 		perJob = avg
 	}
 	est := perJob * float64(queued+running+1) / float64(s.cfg.Workers)
 	switch {
-	case est < 1:
-		return 1
-	case est > 120:
-		return 120
+	case est < retryAfterMinSeconds:
+		return retryAfterMinSeconds
+	case est > retryAfterMaxSeconds:
+		return retryAfterMaxSeconds
 	}
 	return int(est)
 }

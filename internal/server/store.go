@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"memsim/internal/vfs"
 )
 
 // storeVersion guards the jobs.json schema, mirroring the checkpoint
@@ -30,6 +32,7 @@ type storeFile struct {
 // restarted daemon re-adopts the difference.
 type Store struct {
 	mu          sync.Mutex
+	fs          vfs.FS
 	dir         string
 	path        string
 	jobs        map[string]*Job
@@ -38,22 +41,28 @@ type Store struct {
 	quarantined string // where a corrupt jobs.json was moved, "" if none
 }
 
-// OpenStore opens (or initializes) the job store in dir. A jobs.json
-// that does not parse — the signature of a crash mid-write before the
-// atomic flush discipline existed, or of outside interference — is
-// quarantined as jobs.json.corrupt and a fresh store starts, matching
-// the checkpoint manifest's degradation policy: losing job metadata
-// must not brick the service.
-func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// OpenStore opens (or initializes) the job store in dir on the real
+// filesystem. See OpenStoreFS.
+func OpenStore(dir string) (*Store, error) { return OpenStoreFS(dir, vfs.OS) }
+
+// OpenStoreFS opens (or initializes) the job store in dir on fsys. A
+// jobs.json that does not parse — the signature of a crash mid-write
+// before the atomic flush discipline existed, or of outside
+// interference — is quarantined (jobs.json.corrupt, then .corrupt.1,
+// .corrupt.2, ... so repeated corruptions keep their evidence) and a
+// fresh store starts, matching the checkpoint manifest's degradation
+// policy: losing job metadata must not brick the service.
+func OpenStoreFS(dir string, fsys vfs.FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
+		fs:   fsys,
 		dir:  dir,
 		path: filepath.Join(dir, "jobs.json"),
 		jobs: make(map[string]*Job),
 	}
-	data, err := os.ReadFile(s.path)
+	data, err := fsys.ReadFile(s.path)
 	if os.IsNotExist(err) {
 		return s, nil
 	}
@@ -62,9 +71,9 @@ func OpenStore(dir string) (*Store, error) {
 	}
 	var f storeFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		q := s.path + ".corrupt"
-		if rerr := os.Rename(s.path, q); rerr != nil {
-			return nil, fmt.Errorf("store %s: unparseable (%v) and quarantine failed: %w", s.path, err, rerr)
+		q, qerr := vfs.Quarantine(fsys, s.path)
+		if qerr != nil {
+			return nil, fmt.Errorf("store %s: unparseable (%v) and quarantine failed: %w", s.path, err, qerr)
 		}
 		s.quarantined = q
 		return s, nil
@@ -179,10 +188,7 @@ func (s *Store) Save() error {
 func (s *Store) flushLocked() error {
 	data, err := json.MarshalIndent(storeFile{Version: storeVersion, NextSeq: s.nextSeq, Jobs: s.jobs}, "", "  ")
 	if err == nil {
-		tmp := s.path + ".tmp"
-		if err = os.WriteFile(tmp, data, 0o644); err == nil {
-			err = os.Rename(tmp, s.path)
-		}
+		err = vfs.WriteFileAtomic(s.fs, s.path, data, 0o644)
 	}
 	if err != nil {
 		err = fmt.Errorf("store %s: %w", filepath.Base(s.path), err)

@@ -110,3 +110,34 @@ func TestStoreRejectsVersionMismatch(t *testing.T) {
 		t.Fatal("version mismatch must stay a hard error")
 	}
 }
+
+// TestStoreRepeatedQuarantineKeepsEvidence pins the monotonic
+// quarantine naming: a second and third corruption move aside as
+// .corrupt.1 and .corrupt.2 instead of overwriting the first capture.
+func TestStoreRepeatedQuarantineKeepsEvidence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	want := []string{path + ".corrupt", path + ".corrupt.1", path + ".corrupt.2"}
+	for gen, dest := range want {
+		body := []byte("{generation " + string(rune('0'+gen)))
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		if s.Quarantined() != dest {
+			t.Fatalf("generation %d quarantined as %q, want %q", gen, s.Quarantined(), dest)
+		}
+	}
+	for gen, dest := range want {
+		data, err := os.ReadFile(dest)
+		if err != nil {
+			t.Fatalf("generation %d evidence lost: %v", gen, err)
+		}
+		if got := string(data[len(data)-1]); got != string(rune('0'+gen)) {
+			t.Fatalf("%s holds generation %q, want %d", dest, got, gen)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Chaos drill driver for internal/chaos: enumerate every persistence
+# boundary of the memsimd-job and experiments-batch scenarios and drill
+# each one with the five fault classes, plus seeded random multi-fault
+# sequences.
+#
+#   scripts/chaos.sh        deep sweep: several seeds, many random rounds
+#   scripts/chaos.sh -s     CI smoke: race-built, fixed seeds, ~30s budget
+#
+# A failure report prints a one-line reproducer; run it verbatim:
+#
+#   go test ./internal/chaos -run TestReplaySeq \
+#       -args -chaos.scenario=memsimd-job -chaos.replay="torn@3 kill@7"
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+smoke=""
+while getopts "s" opt; do
+    case "$opt" in
+        s) smoke=1 ;;
+        *) echo "usage: $0 [-s]" >&2; exit 2 ;;
+    esac
+done
+
+if [ -n "$smoke" ]; then
+    # Bounded smoke for CI: two fixed seeds under the race detector.
+    # The exhaustive boundary x class sweep always runs in full; only
+    # the random multi-fault rounds are capped.
+    for seed in 1 7; do
+        echo "== chaos smoke: seed $seed =="
+        go test -race -count=1 ./internal/chaos \
+            -args -chaos.seed="$seed" -chaos.rounds=8
+    done
+    echo "chaos smoke OK"
+    exit 0
+fi
+
+# Deep sweep: more seeds, far more random sequences per scenario.
+for seed in 1 7 42 99 1234; do
+    echo "== chaos sweep: seed $seed =="
+    go test -count=1 ./internal/chaos \
+        -args -chaos.seed="$seed" -chaos.rounds=128
+done
+echo "chaos sweep OK"
