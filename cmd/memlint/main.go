@@ -80,9 +80,15 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "memlint:", err)
 		return 2
 	}
+	// All matched packages form one Module, giving the
+	// interprocedural analyzers (atomiccross, errdropip, …) their
+	// whole-program view: a call graph that crosses package
+	// boundaries. Under `go vet -vettool` each package arrives alone
+	// and the same analyzers degrade to per-package scope.
+	mod := analysis.NewModule(pkgs)
 	found := 0
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, lint.Suite())
+		diags, err := analysis.RunPackage(mod, pkg, lint.Suite())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memlint:", err)
 			return 2

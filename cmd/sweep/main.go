@@ -150,7 +150,9 @@ func sweep(ctx context.Context, w *csv.Writer) (int, error) {
 
 		res, err := runPoint(ctx, cfg, *bench, *seed, manifest, *timeout, *retries)
 		if err != nil {
-			saveManifest(manifest)
+			if serr := saveManifest(manifest); serr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: checkpoint save failed:", serr)
+			}
 			if ctx.Err() != nil {
 				return exitInterrupted, fmt.Errorf("interrupted at %s=%d: %w", *param, v, context.Cause(ctx))
 			}

@@ -48,6 +48,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module is the whole-program view for interprocedural analyzers.
+	// It always holds at least the package under analysis; drivers
+	// that load the full module (cmd/memlint standalone, the fixture
+	// harness) populate it with every package so call graphs can cross
+	// package boundaries.
+	Module *Module
+
 	// Report delivers one diagnostic. The runner installs a wrapper
 	// that applies //lint:ignore suppression before recording.
 	Report func(Diagnostic)
@@ -83,30 +90,12 @@ type Package struct {
 // reasonless directives surface as diagnostics of the built-in
 // lintdirective analyzer, which callers include in the suite; Run
 // itself only consumes well-formed directives.
+//
+// Run wraps pkg in a single-package Module, so interprocedural
+// analyzers see exactly one package; drivers with the whole module in
+// hand call RunPackage instead.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	dirs := collectDirectives(pkg)
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-		}
-		pass.Report = func(d Diagnostic) {
-			d.Analyzer = a.Name
-			if dirs.suppresses(pkg.Fset, d) {
-				return
-			}
-			diags = append(diags, d)
-		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-		}
-	}
-	sortDiagnostics(pkg.Fset, diags)
-	return diags, nil
+	return RunPackage(NewModule([]*Package{pkg}), pkg, analyzers)
 }
 
 // sortDiagnostics orders diagnostics by file position, then analyzer

@@ -29,6 +29,7 @@ type directive struct {
 	ownLine   bool     // comment is the only thing on its line
 	analyzers []string // nil for a malformed directive
 	reason    string
+	used      bool // suppressed at least one diagnostic this run
 }
 
 type directiveSet struct {
@@ -104,13 +105,16 @@ func onlyWhitespaceBefore(fset *token.FileSet, f *ast.File, c *ast.Comment) bool
 	return alone
 }
 
-// suppresses reports whether a well-formed directive covers d.
+// suppresses reports whether a well-formed directive covers d, and
+// marks the covering directive used so the staleness audit can flag
+// the ones that never fire.
 func (s *directiveSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
 	if len(s.dirs) == 0 {
 		return false
 	}
 	line := fset.Position(d.Pos).Line
-	for _, dir := range s.dirs {
+	for i := range s.dirs {
+		dir := &s.dirs[i]
 		if dir.analyzers == nil {
 			continue
 		}
@@ -119,11 +123,44 @@ func (s *directiveSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
 		}
 		for _, name := range dir.analyzers {
 			if name == d.Analyzer || name == "all" {
+				dir.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// auditUnused returns a lintdirective diagnostic for every well-formed
+// directive that suppressed nothing even though each analyzer it names
+// ran in this invocation (or it names "all"). A directive naming an
+// analyzer outside the ran set is left alone: this invocation cannot
+// tell whether it is stale.
+func (s *directiveSet) auditUnused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range s.dirs {
+		dir := &s.dirs[i]
+		if dir.analyzers == nil || dir.used {
+			continue
+		}
+		covered := true
+		for _, name := range dir.analyzers {
+			if name != "all" && !ran[name] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: Lintdirective.Name,
+			Message: "unused //lint:ignore directive: no diagnostic from " +
+				strings.Join(dir.analyzers, ",") + " is suppressed here",
+		})
+	}
+	return out
 }
 
 // Lintdirective flags //lint:ignore directives that are missing the

@@ -48,16 +48,24 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		fixed: make(map[string]*analysis.Package),
 		extra: make(map[string]*types.Package),
 	}
+	pkgs := make([]*analysis.Package, 0, len(pkgPaths))
 	for _, path := range pkgPaths {
 		pkg, err := h.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		pkgs = append(pkgs, pkg)
+	}
+	// Every loaded fixture package — the requested ones plus their
+	// fixture imports — forms the Module, so interprocedural analyzers
+	// see cross-package edges exactly as the standalone driver would.
+	mod := analysis.NewModule(h.modulePackages())
+	for i, path := range pkgPaths {
+		diags, err := analysis.RunPackage(mod, pkgs[i], []*analysis.Analyzer{a})
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		checkWants(t, h.fset, pkg, diags)
+		checkWants(t, h.fset, pkgs[i], diags)
 	}
 }
 
@@ -67,6 +75,20 @@ type harness struct {
 	fset  *token.FileSet
 	fixed map[string]*analysis.Package
 	extra map[string]*types.Package
+}
+
+// modulePackages returns every loaded fixture package in path order.
+func (h *harness) modulePackages() []*analysis.Package {
+	paths := make([]string, 0, len(h.fixed))
+	for p := range h.fixed {
+		paths = append(paths, p)
+	}
+	slices.Sort(paths)
+	pkgs := make([]*analysis.Package, 0, len(paths))
+	for _, p := range paths {
+		pkgs = append(pkgs, h.fixed[p])
+	}
+	return pkgs
 }
 
 // load parses and type-checks one fixture package (and, recursively,

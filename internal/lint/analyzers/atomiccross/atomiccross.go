@@ -1,0 +1,346 @@
+// Package atomiccross guards the module's single-writer discipline:
+// the simulation core (the event-loop packages simdeterminism scopes,
+// internal/sim, internal/core, internal/obs, …) is written by exactly
+// one goroutine at a time, while the memsimd service (PR 6) and the
+// chaos drills (PR 7) run HTTP handlers and worker pools beside it.
+// State shared across that boundary must use sync/atomic, a mutex
+// held on the goroutine side with the core confined behind it, or not
+// be shared at all. PR 6's metrics design — counters as atomic.Uint64
+// precisely because the export handler reads them mid-run — is the
+// invariant this analyzer pins mechanically.
+//
+// Two rules, both over the module call graph's goroutine-reachability
+// and lock information (internal/lint/dataflow):
+//
+//  1. cross-domain sharing: a struct field declared in a sim-core
+//     package that core code accesses AND goroutine-reachable
+//     non-core code accesses directly (field selector, not through a
+//     core method) with at least one non-core write is reported at
+//     the field declaration — the event loop does not lock, so even
+//     a mutex on the goroutine side cannot make this safe;
+//  2. unguarded writes: a plain (basic-typed, non-atomic) field
+//     declared in a concurrent package — one that spawns goroutines
+//     or hosts handler entry points — written on a goroutine-reachable
+//     path with no mutex held on every goroutine-side route to the
+//     writer is reported at the write. Fields of sync/atomic types
+//     and function-local structs that never escape the writer are
+//     exempt, as are fields of passive packages (the event-loop
+//     libraries): those run single-goroutine by the simdeterminism
+//     contract, and their cross-boundary hazards are rule 1's job.
+//
+// Provably single-goroutine setups are silenced with
+// //lint:ignore atomiccross <reason>.
+package atomiccross
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/analyzers/simdeterminism"
+	"memsim/internal/lint/dataflow"
+)
+
+// Analyzer is the atomiccross pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccross",
+	Doc: "flag fields shared between the event loop and goroutine paths without atomics\n\n" +
+		"Counters and flags reached from both the single-threaded simulation core and " +
+		"server/worker goroutines must be sync/atomic, mutex-confined, or not shared. " +
+		"Silence provably single-goroutine cases with //lint:ignore atomiccross <reason>.",
+	Run: run,
+}
+
+// finding is one precomputed diagnostic, attributed to the package
+// whose file it lands in so the per-package runner emits each exactly
+// once.
+type finding struct {
+	pos     token.Pos
+	pkgPath string
+	msg     string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	fs, err := moduleFindings(pass.Module)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fs {
+		if f.pkgPath == pass.Pkg.Path() {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil, nil
+}
+
+// access is one field touch, attributed to the graph node performing
+// it.
+type access struct {
+	node  *dataflow.Node
+	site  ast.Node
+	write bool
+}
+
+// fieldRecord accumulates every touch of one struct field across the
+// module.
+type fieldRecord struct {
+	obj      *types.Var
+	pkgPath  string // declaring package
+	accesses []access
+}
+
+// moduleFindings computes both rules once per module.
+func moduleFindings(mod *analysis.Module) ([]finding, error) {
+	v, err := mod.Fact("atomiccross.findings", func() (any, error) {
+		g := dataflow.ModuleGraph(mod)
+		goReach := g.GoReachable()
+		guarded := guardedSet(g, goReach)
+		concurrent := concurrentPackages(g)
+
+		// Collect field accesses per node, in deterministic node
+		// order.
+		var records []*fieldRecord
+		index := make(map[*types.Var]*fieldRecord)
+		for _, n := range g.Nodes {
+			collectAccesses(n, func(site ast.Node, fld *types.Var, write bool) {
+				rec := index[fld]
+				if rec == nil {
+					if fld.Pkg() == nil || mod.PackageFor(fld.Pkg().Path()) == nil {
+						return // field declared outside the module
+					}
+					rec = &fieldRecord{obj: fld, pkgPath: fld.Pkg().Path()}
+					index[fld] = rec
+					records = append(records, rec)
+				}
+				rec.accesses = append(rec.accesses, access{node: n, site: site, write: write})
+			})
+		}
+
+		var out []finding
+		for _, rec := range records {
+			if isSyncType(rec.obj.Type()) {
+				continue
+			}
+			out = append(out, crossDomain(rec, goReach)...)
+			if concurrent[rec.pkgPath] {
+				out = append(out, unguardedWrites(rec, goReach, guarded)...)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]finding), nil
+}
+
+// crossDomain implements rule 1: core-declared fields touched directly
+// by goroutine-reachable non-core code, with a non-core write.
+func crossDomain(rec *fieldRecord, goReach []bool) []finding {
+	if !simdeterminism.InSimCore(rec.pkgPath) {
+		return nil
+	}
+	coreTouch, gorWrite := false, false
+	for _, a := range rec.accesses {
+		inCore := simdeterminism.InSimCore(a.node.Pkg.PkgPath)
+		if inCore {
+			coreTouch = true
+		} else if goReach[a.node.Index] && a.write && !confined(a.node, a.site) {
+			gorWrite = true
+		}
+	}
+	if !coreTouch || !gorWrite {
+		return nil
+	}
+	return []finding{{
+		pos:     rec.obj.Pos(),
+		pkgPath: rec.pkgPath,
+		msg: "field " + rec.obj.Name() + " is written by goroutine-reachable code outside the sim core " +
+			"while core code also touches it; the event loop takes no lock, so use sync/atomic or stop sharing it",
+	}}
+}
+
+// unguardedWrites implements rule 2: plain basic-typed fields written
+// from goroutine-reachable nodes with no lock on the route.
+func unguardedWrites(rec *fieldRecord, goReach, guarded []bool) []finding {
+	if b, ok := rec.obj.Type().Underlying().(*types.Basic); !ok || b.Kind() == types.UnsafePointer {
+		return nil
+	}
+	var out []finding
+	for _, a := range rec.accesses {
+		if !a.write || !goReach[a.node.Index] || guarded[a.node.Index] {
+			continue
+		}
+		if confined(a.node, a.site) {
+			continue
+		}
+		out = append(out, finding{
+			pos:     a.site.Pos(),
+			pkgPath: a.node.Pkg.PkgPath,
+			msg: "field " + rec.obj.Name() + " written on a goroutine-reachable path without a lock held; " +
+				"use sync/atomic or take the mutex on every route here",
+		})
+	}
+	return out
+}
+
+// concurrentPackages marks packages with goroutine structure of their
+// own: a spawn site (go statement) or a goroutine entry point
+// (handler, spawned function). State declared there is exposed to
+// concurrency by design; state declared in passive packages is owned
+// by whichever single goroutine runs it.
+func concurrentPackages(g *dataflow.Graph) map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range g.Nodes {
+		if n.GoRoot {
+			out[n.Pkg.PkgPath] = true
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Kind == dataflow.EdgeGo {
+				out[n.Pkg.PkgPath] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// guardedSet computes, per node, whether every goroutine-side route to
+// it holds a mutex: a greatest-fixpoint over the reverse call graph.
+// A node locking for itself is guarded; a goroutine entry point that
+// does not lock is not (its spawner's lock is released by then); any
+// other node inherits guardedness only if every goroutine-reachable
+// caller confers it through a synchronous edge (call, defer, or
+// callback — a callback runs under its receiver's lock, the
+// store.Update pattern; a go or bare reference edge confers nothing).
+func guardedSet(g *dataflow.Graph, goReach []bool) []bool {
+	guarded := make([]bool, len(g.Nodes))
+	for i := range guarded {
+		guarded[i] = goReach[i] // optimistic start, then strip
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if !goReach[n.Index] || !guarded[n.Index] || n.Locks {
+				continue
+			}
+			ok := !n.GoRoot
+			if ok {
+				seen := false
+				for i, e := range n.In {
+					from := n.InFrom[i]
+					if !goReach[from.Index] {
+						continue
+					}
+					seen = true
+					if !confers(e.Kind) || !guarded[from.Index] {
+						ok = false
+						break
+					}
+				}
+				ok = ok && seen
+			}
+			if !ok {
+				guarded[n.Index] = false
+				changed = true
+			}
+		}
+	}
+	return guarded
+}
+
+// confers reports whether an edge kind carries the caller's lock into
+// the callee.
+func confers(k dataflow.EdgeKind) bool {
+	switch k {
+	case dataflow.EdgeCall, dataflow.EdgeDefer, dataflow.EdgeCallback:
+		return true
+	}
+	return false
+}
+
+// collectAccesses walks one node's body (literals excluded — they are
+// their own nodes) reporting each struct-field selector touch.
+func collectAccesses(n *dataflow.Node, report func(site ast.Node, fld *types.Var, write bool)) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.TypesInfo
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				writes[ast.Unparen(l)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[ast.Unparen(x.X)] = true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				// Taking a field's address lets anyone write it.
+				writes[ast.Unparen(x.X)] = true
+			}
+		case *ast.SelectorExpr:
+			fld, ok := info.Uses[x.Sel].(*types.Var)
+			if ok && fld.IsField() {
+				report(x, fld, writes[x])
+			}
+		}
+		return true
+	})
+}
+
+// confined reports whether the written value is owned by this very
+// function: rooted in a local variable (a freshly built struct that
+// has not escaped the writer) or in a by-value parameter (the callee's
+// private copy). A pointer parameter or receiver is shared memory and
+// never confined.
+func confined(n *dataflow.Node, site ast.Node) bool {
+	sel, ok := site.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base := sel.X
+	for {
+		switch b := ast.Unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = b.X
+			continue
+		case *ast.Ident:
+			obj := n.Pkg.TypesInfo.ObjectOf(b)
+			if obj == nil {
+				return false
+			}
+			body := n.Body()
+			if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && obj.Pos() >= n.Pos() && obj.Pos() < body.Pos() {
+				_, ptr := v.Type().Underlying().(*types.Pointer)
+				return !ptr
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// isSyncType exempts fields whose type already synchronizes: anything
+// from sync or sync/atomic.
+func isSyncType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}

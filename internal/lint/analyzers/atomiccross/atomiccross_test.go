@@ -1,0 +1,17 @@
+package atomiccross_test
+
+import (
+	"testing"
+
+	"memsim/internal/lint/analysistest"
+	"memsim/internal/lint/analyzers/atomiccross"
+)
+
+// TestFixtures covers both rules: unguarded goroutine-side writes to
+// plain fields (with atomic, mutex-on-every-route, callback-under-
+// mutex, confined-local, and never-spawned negatives) and the
+// cross-domain rule reporting a core-declared field written from
+// goroutine-reachable non-core code at its declaration.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccross.Analyzer, "atomsrv", "internal/obs")
+}

@@ -1,0 +1,79 @@
+// Package atomsrv exercises atomiccross outside the sim core: plain
+// fields written on goroutine-reachable paths need a lock on every
+// route or a sync/atomic type; locked routes, callback-under-mutex
+// (the store.Update pattern), confined locals, and unspawned helpers
+// stay silent.
+package atomsrv
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"internal/obs"
+)
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Update runs fn under the store lock.
+func (st *store) Update(fn func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fn()
+}
+
+type Server struct {
+	hits    uint64 // plain counter: the worker write below is the bug
+	pending int
+	safe    atomic.Uint64
+	mu      sync.Mutex
+	locked  uint64
+	st      store
+	g       *obs.Gauge
+}
+
+// Spawn launches the workers; everything they reach runs off the main
+// goroutine.
+func Spawn(s *Server) {
+	go s.worker()
+	go s.gaugeWriter()
+}
+
+// worker writes a plain field with no lock held.
+func (s *Server) worker() {
+	s.hits++ // want `field hits written on a goroutine-reachable path without a lock held`
+	s.safe.Add(1)
+	s.lockedBump()
+	s.st.Update(func() { s.st.n++ })
+	local := &Server{}
+	local.hits++ // confined: the struct never escapes this function
+}
+
+// lockedBump is guarded: every goroutine-side route locks.
+func (s *Server) lockedBump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked++
+}
+
+// gaugeWriter takes its own lock, but the core-side Gauge methods do
+// not — the cross-domain rule reports at the field declaration.
+func (s *Server) gaugeWriter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.N++
+}
+
+// ServeHTTP-shaped methods are goroutine roots even without a
+// registration site in the module.
+func (s *Server) ServeHTTP(w any, r *struct{}) {
+	s.pending++ // want `field pending written on a goroutine-reachable path without a lock held`
+}
+
+// setup is never spawned: main-goroutine writes are fine.
+func setup(s *Server) {
+	s.hits = 0
+	s.pending = 0
+}

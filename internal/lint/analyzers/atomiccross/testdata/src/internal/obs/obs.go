@@ -1,0 +1,17 @@
+// Package obs stubs a sim-core instrumentation package (the path
+// matches simdeterminism's internal/obs scoping): Gauge lives on the
+// event loop, and any direct goroutine-side write to its field is a
+// cross-domain race regardless of goroutine-side locking, because the
+// core never locks.
+package obs
+
+// Gauge is a core-side counter.
+type Gauge struct {
+	N int64 // want `field N is written by goroutine-reachable code outside the sim core`
+}
+
+// Tick advances the gauge on the event loop.
+func (g *Gauge) Tick() { g.N++ }
+
+// Value reads the gauge on the event loop.
+func (g *Gauge) Value() int64 { return g.N }

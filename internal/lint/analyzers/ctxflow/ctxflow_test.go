@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"memsim/internal/lint/analysistest"
+	"memsim/internal/lint/analyzers/ctxflow"
+)
+
+// TestFixtures covers dropped and shadowed contexts, fresh With*
+// chains, closures inheriting scope, the nil-fallback default pattern
+// (not flagged: freshness must hold on all paths), mixed-return
+// helper summaries, and the //lint:ignore escape hatch.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}

@@ -1,0 +1,96 @@
+// Package a exercises ctxflow: functions holding a context.Context
+// parameter must not hand callees a fresh Background/TODO chain.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func step(ctx context.Context, n int) error { return nil }
+
+func sleepUnder(ctx context.Context, d time.Duration) {}
+
+// dropped passes a fresh context while ctx is in scope.
+func dropped(ctx context.Context) {
+	step(context.Background(), 1) // want `fresh context \(Background/TODO\) passed to step while a ctx is in scope`
+	step(context.TODO(), 2)       // want `fresh context`
+	step(ctx, 3)
+}
+
+// derivedChain stays connected: With* applied to ctx is derived.
+func derivedChain(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	step(c, 1)
+	step(context.WithValue(ctx, ctxKey{}, 1), 2)
+}
+
+type ctxKey struct{}
+
+// freshChain is flagged: the whole With* chain roots in Background.
+func freshChain(ctx context.Context) {
+	c, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	step(c, 1) // want `fresh context`
+}
+
+// shadowed is flagged: ctx is reassigned to a fresh chain on every
+// path before use.
+func shadowed(ctx context.Context) {
+	ctx = context.Background()
+	step(ctx, 1) // want `fresh context`
+}
+
+// defaulted is NOT flagged: Background is only a fallback on one
+// path, and all-paths freshness is required.
+func defaulted(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	step(ctx, 1)
+}
+
+// closure inherits the enclosing ctx scope.
+func closure(ctx context.Context) func() {
+	return func() {
+		step(context.Background(), 1) // want `fresh context`
+		step(ctx, 2)
+	}
+}
+
+// noScope has no ctx parameter: constructing roots here is the normal
+// top-level pattern and is not flagged.
+func noScope() {
+	step(context.Background(), 1)
+}
+
+// viaHelper stays derived: helper prefers its configured context and
+// only falls back to Background, so its summary is mixed, not fresh.
+func viaHelper(ctx context.Context, h *holder) {
+	step(h.ctx(), 1)
+}
+
+// viaFreshHelper is flagged: every return of freshCtx is fresh.
+func viaFreshHelper(ctx context.Context) {
+	step(freshCtx(), 1) // want `fresh context`
+}
+
+func freshCtx() context.Context {
+	return context.Background()
+}
+
+type holder struct{ c context.Context }
+
+func (h *holder) ctx() context.Context {
+	if h.c != nil {
+		return h.c
+	}
+	return context.Background()
+}
+
+// ignored demonstrates the escape hatch for deliberate detachment.
+func ignored(ctx context.Context) {
+	//lint:ignore ctxflow audit logging must finish even after the request is gone
+	step(context.Background(), 1)
+}

@@ -78,8 +78,16 @@ func run(pass *analysis.Pass) (any, error) {
 // watched reports a non-empty display name and rationale when call
 // targets a watched, error-returning function.
 func watched(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
-	fn := calleeFunc(pass, call)
-	if fn == nil || !returnsError(fn) {
+	return Classify(calleeFunc(pass, call))
+}
+
+// Classify reports a non-empty display name and rationale when fn is
+// one of the watched error-returning functions. It is the package's
+// base classification, shared with the interprocedural errdropip
+// analyzer, which extends the watched set to module wrappers that
+// propagate these errors.
+func Classify(fn *types.Func) (string, string) {
+	if fn == nil || !ReturnsError(fn) {
 		return "", ""
 	}
 	recv := receiverTypeName(fn)
@@ -128,19 +136,24 @@ func watched(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
 
 // calleeFunc resolves the called function or method, or nil.
 func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	return Callee(pass.TypesInfo, call)
+}
+
+// Callee resolves the statically called function or method, or nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		fn, _ := info.Uses[fun].(*types.Func)
 		return fn
 	case *ast.SelectorExpr:
-		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
 		return fn
 	}
 	return nil
 }
 
-// returnsError reports whether fn's last result is error.
-func returnsError(fn *types.Func) bool {
+// ReturnsError reports whether fn's last result is error.
+func ReturnsError(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Results().Len() == 0 {
 		return false
@@ -153,7 +166,7 @@ func returnsError(fn *types.Func) bool {
 // onlyError reports whether fn returns exactly one value, an error.
 func onlyError(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
-	return ok && sig.Results().Len() == 1 && returnsError(fn)
+	return ok && sig.Results().Len() == 1 && ReturnsError(fn)
 }
 
 // receiverTypeName reports the base type name of fn's receiver, or "".

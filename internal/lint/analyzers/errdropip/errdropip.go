@@ -1,0 +1,351 @@
+// Package errdropip is the interprocedural upgrade of errdrop: a
+// module function that receives a must-check error and propagates it
+// to its own caller inherits must-check status, so wrappers cannot
+// launder dropped errors. Where errdrop's watched set is a fixed list
+// of names (Validate, Manifest.Save, vfs.FS.WriteFile, …), errdropip
+// grows that set to a fixpoint over the module: `func flush() error {
+// return w.Flush() }` is as must-check as Flush itself, and so is a
+// second wrapper around flush.
+//
+// Propagation is decided by a forward taint analysis over each
+// function's CFG (internal/lint/dataflow): the error result of a call
+// to a watched (or already-inherited) function taints the variable it
+// is assigned to; taint survives fmt.Errorf("…: %w", err) and
+// errors.Join wrapping and reassignment kills it; a function whose
+// return statement returns a tainted value — or the watched call
+// directly — propagates. Reported sites are the same three shapes as
+// errdrop (expression statement, defer, go); `_ = wrapper()` stays a
+// deliberate, visible discard.
+package errdropip
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/analyzers/errdrop"
+	"memsim/internal/lint/dataflow"
+)
+
+// Analyzer is the errdropip pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdropip",
+	Doc: "flag discarded errors from module functions that propagate must-check errors\n\n" +
+		"A function returning the error of a watched call (errdrop's set, transitively) " +
+		"inherits must-check status; discarding its error drops the original one. " +
+		"Handle the error, assign it to _ deliberately, or silence a false positive with " +
+		"//lint:ignore errdropip <reason>.",
+	Run: run,
+}
+
+// mustCheck records why a function's error must be checked: the
+// display name of the root watched function and its rationale.
+type mustCheck struct {
+	root string
+	why  string
+}
+
+// table is the module-wide fixpoint result.
+type table struct {
+	must map[*types.Func]mustCheck
+	// origins maps tainted variables to the watched call that
+	// produced their value, for diagnostic text during summary
+	// construction.
+	origins map[types.Object]mustCheck
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	tb, err := moduleTable(pass.Module)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := errdrop.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if name, _ := errdrop.Classify(fn); name != "" {
+				// errdrop's own territory; one finding is enough.
+				return true
+			}
+			if mc, ok := tb.must[fn]; ok {
+				pass.Reportf(call.Pos(),
+					"error returned by %s is discarded: it propagates the must-check error of %s (%s)",
+					fn.Name(), mc.root, mc.why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// moduleTable computes (once per module) the set of functions that
+// propagate must-check errors, to a fixpoint so chains of wrappers
+// inherit through any number of hops.
+func moduleTable(mod *analysis.Module) (*table, error) {
+	v, err := mod.Fact("errdropip.table", func() (any, error) {
+		g := dataflow.ModuleGraph(mod)
+		tb := &table{
+			must:    make(map[*types.Func]mustCheck),
+			origins: make(map[types.Object]mustCheck),
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range g.Nodes {
+				fn := n.Func
+				if fn == nil || !errdrop.ReturnsError(fn) {
+					continue
+				}
+				if _, done := tb.must[fn]; done {
+					continue
+				}
+				if name, _ := errdrop.Classify(fn); name != "" {
+					continue // already in the base watched set
+				}
+				if mc, ok := tb.propagates(n); ok {
+					tb.must[fn] = mc
+					changed = true
+				}
+			}
+		}
+		return tb, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*table), nil
+}
+
+// lookup reports the must-check pedigree of a callee: a base watched
+// function or an inherited wrapper.
+func (tb *table) lookup(fn *types.Func) (mustCheck, bool) {
+	if fn == nil {
+		return mustCheck{}, false
+	}
+	if name, why := errdrop.Classify(fn); name != "" {
+		return mustCheck{root: name, why: why}, true
+	}
+	mc, ok := tb.must[fn]
+	return mc, ok
+}
+
+// propagates reports whether n's function returns (on some path) an
+// error that originated in a watched call.
+func (tb *table) propagates(n *dataflow.Node) (mustCheck, bool) {
+	body := n.Body()
+	if body == nil {
+		return mustCheck{}, false
+	}
+	info := n.Pkg.TypesInfo
+	named := namedErrorResults(n.Decl, info)
+	cfg := dataflow.New(body)
+	fl := tb.flow(info)
+	facts := cfg.Forward(dataflow.Fact(&dataflow.Env{}), fl)
+
+	var found mustCheck
+	ok := false
+	cfg.Visit(facts, fl, func(node ast.Node, before dataflow.Fact) {
+		if ok {
+			return
+		}
+		ret, isRet := node.(*ast.ReturnStmt)
+		if !isRet {
+			return
+		}
+		env := before.(*dataflow.Env)
+		if len(ret.Results) == 0 {
+			for _, obj := range named {
+				if mc, tainted := tb.taintObj(env, obj); tainted {
+					found, ok = mc, true
+					return
+				}
+			}
+			return
+		}
+		for _, res := range ret.Results {
+			if mc, tainted := tb.taintExpr(info, env, res); tainted {
+				found, ok = mc, true
+				return
+			}
+		}
+	})
+	return found, ok
+}
+
+// flow is the taint lattice: tracked error variables carry 1 when they
+// hold a must-check error.
+func (tb *table) flow(info *types.Info) dataflow.Flow {
+	return dataflow.Flow{
+		Join: func(a, b dataflow.Fact) dataflow.Fact {
+			return dataflow.Fact(dataflow.Join(a.(*dataflow.Env), b.(*dataflow.Env), func(x, y uint8) uint8 {
+				if x > y {
+					return x
+				}
+				return y
+			}))
+		},
+		Equal: func(a, b dataflow.Fact) bool {
+			return a.(*dataflow.Env).Equal(b.(*dataflow.Env))
+		},
+		Transfer: func(node ast.Node, in dataflow.Fact) dataflow.Fact {
+			env := in.(*dataflow.Env)
+			switch node := node.(type) {
+			case *ast.AssignStmt:
+				return dataflow.Fact(tb.assign(info, env, node.Lhs, node.Rhs))
+			case *ast.DeclStmt:
+				gd, ok := node.Decl.(*ast.GenDecl)
+				if !ok {
+					return in
+				}
+				out := env
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) == 0 {
+						continue
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					out = tb.assign(info, out, lhs, vs.Values)
+				}
+				return dataflow.Fact(out)
+			}
+			return in
+		},
+	}
+}
+
+// assign applies one (possibly multi-value) assignment to the taint
+// environment.
+func (tb *table) assign(info *types.Info, env *dataflow.Env, lhs, rhs []ast.Expr) *dataflow.Env {
+	out := env.Clone()
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// v, err := f(): the callee's must-check status taints the
+		// error-typed targets; everything else is overwritten clean.
+		mc, tainted := mustCheck{}, false
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			mc, tainted = tb.lookup(errdrop.Callee(info, call))
+		}
+		for _, l := range lhs {
+			obj := assignee(info, l)
+			if obj == nil {
+				continue
+			}
+			if tainted && isErrorType(obj.Type()) {
+				out.Set(obj, 1)
+				tb.origins[obj] = mc
+			} else {
+				out.Set(obj, 0)
+			}
+		}
+		return out
+	}
+	for i, l := range lhs {
+		obj := assignee(info, l)
+		if obj == nil || i >= len(rhs) {
+			continue
+		}
+		if mc, tainted := tb.taintExpr(info, env, rhs[i]); tainted && isErrorType(obj.Type()) {
+			out.Set(obj, 1)
+			tb.origins[obj] = mc
+		} else {
+			out.Set(obj, 0)
+		}
+	}
+	return out
+}
+
+// taintExpr reports whether evaluating e yields a must-check error:
+// a tainted variable, a call to a watched/inherited function, or a
+// fmt.Errorf / errors.Join wrapping of one.
+func (tb *table) taintExpr(info *types.Info, env *dataflow.Env, e ast.Expr) (mustCheck, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return mustCheck{}, false
+		}
+		return tb.taintObj(env, obj)
+	case *ast.CallExpr:
+		fn := errdrop.Callee(info, e)
+		if mc, ok := tb.lookup(fn); ok {
+			return mc, true
+		}
+		if isWrapCall(fn) {
+			for _, arg := range e.Args {
+				if mc, ok := tb.taintExpr(info, env, arg); ok {
+					return mc, true
+				}
+			}
+		}
+	}
+	return mustCheck{}, false
+}
+
+func (tb *table) taintObj(env *dataflow.Env, obj types.Object) (mustCheck, bool) {
+	if v, ok := env.Get(obj); ok && v == 1 {
+		return tb.origins[obj], true
+	}
+	return mustCheck{}, false
+}
+
+// assignee resolves an assignment target to its variable object;
+// blank, field and index targets return nil (untracked).
+func assignee(info *types.Info, l ast.Expr) types.Object {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// isWrapCall matches the error-wrapping constructors taint survives.
+func isWrapCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Name() {
+	case "fmt":
+		return fn.Name() == "Errorf"
+	case "errors":
+		return fn.Name() == "Join"
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// namedErrorResults collects the declared error-typed named results,
+// which a naked return returns implicitly.
+func namedErrorResults(decl *ast.FuncDecl, info *types.Info) []types.Object {
+	if decl == nil || decl.Type.Results == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range decl.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isErrorType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}

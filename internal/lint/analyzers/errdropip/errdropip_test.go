@@ -1,0 +1,16 @@
+package errdropip_test
+
+import (
+	"testing"
+
+	"memsim/internal/lint/analysistest"
+	"memsim/internal/lint/analyzers/errdropip"
+)
+
+// TestFixtures covers the inheritance chain (direct wrap, two hops,
+// %w wrapping, named-result naked return, cross-package wrappers) and
+// the non-inheriting shapes (handled locally, taint killed by
+// reassignment, deliberate _ discard).
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", errdropip.Analyzer, "a", "b")
+}

@@ -1,0 +1,74 @@
+// Package a exercises unitflow: wall-clock nanoseconds and laundered
+// bare literals must not flow into sim.Time picosecond slots, and
+// sim.Time must not leak raw into time.Duration.
+package a
+
+import (
+	"sim"
+	"time"
+)
+
+type cfg struct {
+	Deadline sim.Time
+}
+
+// laundered converts wall nanoseconds without the unit multiply: the
+// taint survives the sim.Time conversion into the scheduler call.
+func laundered(s *sim.Scheduler, d time.Duration) {
+	s.Schedule(sim.Time(d.Nanoseconds()), func() {}) // want `wall-clock nanoseconds passed as sim.Time`
+	ns := d.Nanoseconds()
+	s.At(sim.Time(ns), func() {}) // want `wall-clock nanoseconds passed as sim.Time`
+}
+
+// blessed is the canonical conversion idiom: multiplying by a sim
+// unit yields genuine picoseconds.
+func blessed(s *sim.Scheduler, d time.Duration) {
+	s.Schedule(sim.Time(d.Nanoseconds())*sim.Nanosecond, func() {})
+	ns := d.Nanoseconds()
+	s.At(sim.Time(ns)*sim.Nanosecond, func() {})
+	s.Schedule(100*sim.Nanosecond, func() {})
+	s.At(s.Now()+2*sim.Microsecond, func() {})
+}
+
+// crossArith mixes picoseconds and nanoseconds in one expression.
+func crossArith(s *sim.Scheduler, d time.Duration) sim.Time {
+	return s.Now() + sim.Time(d.Nanoseconds()) // want `cross-unit arithmetic`
+}
+
+// assigned stores wall nanoseconds into a sim.Time field.
+func assigned(c *cfg, d time.Duration) {
+	c.Deadline = sim.Time(d.Nanoseconds()) // want `wall-clock nanoseconds assigned to a sim.Time slot`
+	c.Deadline = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// literalLaundered hides a bare integer behind a variable and a
+// conversion, past eventtime's syntactic check.
+func literalLaundered(s *sim.Scheduler) {
+	n := 100
+	s.Schedule(sim.Time(n), func() {}) // want `bare integer laundered into a sim.Time argument`
+	s.Schedule(sim.Time(n)*sim.Nanosecond, func() {})
+}
+
+// backConversion leaks picoseconds into a Duration; dividing by a sim
+// unit first is the sanctioned exit.
+func backConversion(t sim.Time) time.Duration {
+	return time.Duration(t) // want `sim.Time \(picoseconds\) converted directly to time.Duration`
+}
+
+func backConversionBlessed(t sim.Time) time.Duration {
+	return time.Duration(t / sim.Nanosecond)
+}
+
+// simNative arithmetic stays silent.
+func simNative(s *sim.Scheduler, t sim.Time) {
+	s.At(t+sim.Millisecond, func() {})
+	s.Schedule(t/2, func() {})
+	elapsed := s.Now() - t
+	s.Schedule(elapsed, func() {})
+}
+
+// ignored demonstrates the escape hatch.
+func ignored(s *sim.Scheduler, d time.Duration) {
+	//lint:ignore unitflow this fixture deliberately schedules raw nanoseconds
+	s.Schedule(sim.Time(d.Nanoseconds()), func() {})
+}

@@ -1,0 +1,34 @@
+// Package sim is a stub of memsim/internal/sim for unitflow fixtures:
+// the analyzer matches the Time type and unit constants by package and
+// type name, so this stub exercises the same code paths as the real
+// kernel.
+package sim
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Unit constants mirror the real kernel's.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as wall-clock-comparable nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Scheduler is a stub of the discrete-event engine.
+type Scheduler struct {
+	now Time
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Schedule queues fn after delay.
+func (s *Scheduler) Schedule(delay Time, fn func()) {}
+
+// At queues fn at absolute time t.
+func (s *Scheduler) At(t Time, fn func()) {}

@@ -1,0 +1,17 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"memsim/internal/lint/analysistest"
+	"memsim/internal/lint/analyzers/unitflow"
+)
+
+// TestFixtures covers laundering through sim.Time conversions (direct
+// and via variables), the blessed multiply-by-unit idiom, cross-unit
+// arithmetic, assignment into sim.Time slots, literal laundering, raw
+// back-conversion to time.Duration, and native sim.Time arithmetic
+// staying silent.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", unitflow.Analyzer, "a")
+}

@@ -1,0 +1,564 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"memsim/internal/lint/analysis"
+)
+
+// EdgeKind classifies how control reaches a callee.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is an ordinary (possibly variadic) static call.
+	EdgeCall EdgeKind = iota
+	// EdgeGo is the direct call of a go statement: the callee runs on
+	// a fresh goroutine.
+	EdgeGo
+	// EdgeDefer is the direct call of a defer statement.
+	EdgeDefer
+	// EdgeCallback marks a function value passed as an argument to a
+	// module function: the edge runs from the receiving function to
+	// the value, since the receiver is the likely invoker (a store
+	// mutator calling its update closure under the store lock, a
+	// registry holding a gauge reader).
+	EdgeCallback
+	// EdgeRef is a bare function reference — a method value, a
+	// handler stored in a struct — whose invoker is unknown; the
+	// enclosing function is charged with it conservatively.
+	EdgeRef
+)
+
+// Edge is one resolved call or reference.
+type Edge struct {
+	Site ast.Node // the CallExpr or referencing expression
+	Kind EdgeKind
+	// Callee is the target's node when it is a module function with a
+	// body; nil for standard-library and bodyless targets.
+	Callee *Node
+	// Fn is the type-checked callee object when static resolution
+	// succeeded (set even when Callee is nil); nil for dynamic calls.
+	Fn *types.Func
+}
+
+// Node is one function in the graph: a declared function or method,
+// or a function literal (attributed to its lexical parent).
+type Node struct {
+	Index int
+	// Func is the declared object; nil for function literals.
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Pkg  *analysis.Package
+	// Parent is the enclosing function for literals; nil for
+	// declarations.
+	Parent *Node
+	// Out holds edges leaving this node, in source order; In the
+	// reverse view, in graph construction order.
+	Out []*Edge
+	In  []*Edge
+	// InFrom[i] is the node owning In[i].
+	InFrom []*Node
+	// GoRoot marks a goroutine entry point: the target of a go
+	// statement, a handler registered on the net/http surface, or a
+	// ServeHTTP method.
+	GoRoot bool
+	// Locks reports that the body contains a sync.(RW)Mutex
+	// Lock/RLock call, the heuristic the atomiccross analyzer uses
+	// for "this function takes a lock before touching shared state".
+	Locks bool
+}
+
+// Body returns the function body, nil for bodyless declarations.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// Pos returns the start of the declaration or literal, covering the
+// signature (parameters included) as well as the body.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return token.NoPos
+}
+
+// String names the node for diagnostics and tests.
+func (n *Node) String() string {
+	if n.Func != nil {
+		return n.Func.FullName()
+	}
+	if n.Parent != nil {
+		return n.Parent.String() + "$lit"
+	}
+	return "$lit"
+}
+
+// Graph is the module-wide call-graph approximation, built from
+// type-checked call sites: static calls resolve exactly, interface
+// method calls fan out to every module method that implements them,
+// and function values become callback or reference edges. Dynamic
+// calls through non-interface function values are the approximation's
+// blind spot and are simply absent.
+type Graph struct {
+	Nodes []*Node
+
+	byFunc map[*types.Func]*Node
+	byLit  *ast.FuncLit // placeholder to keep struct layout obvious
+	lits   map[*ast.FuncLit]*Node
+
+	goReach []bool // lazily computed goroutine reachability
+}
+
+// FuncNode returns the node of a declared function, or nil.
+func (g *Graph) FuncNode(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// LitNode returns the node of a function literal, or nil.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.lits[lit] }
+
+// ModuleGraph returns the module's call graph, built once per Module
+// and shared by every analyzer through the module fact cache.
+func ModuleGraph(m *analysis.Module) *Graph {
+	v, _ := m.Fact("dataflow.callgraph", func() (any, error) {
+		return Build(m.Packages), nil
+	})
+	return v.(*Graph)
+}
+
+// Build constructs the graph over the given packages (the loader's
+// deterministic order). Only functions with bodies in pkgs become
+// nodes; _test.go files never reach the builder because the loader's
+// go list GoFiles excludes them.
+func Build(pkgs []*analysis.Package) *Graph {
+	g := &Graph{
+		byFunc: make(map[*types.Func]*Node),
+		lits:   make(map[*ast.FuncLit]*Node),
+	}
+	b := &graphBuilder{g: g}
+
+	// Phase 1: a node per declared function, so cross-package edges
+	// resolve regardless of package order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := b.newNode()
+				n.Func = fn
+				n.Decl = fd
+				n.Pkg = pkg
+				g.byFunc[fn] = n
+				if isServeHTTP(fn) {
+					n.GoRoot = true
+				}
+			}
+		}
+	}
+	b.indexMethods()
+
+	// Phase 2: walk bodies, creating literal nodes and edges.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if n := g.byFunc[fn]; n != nil {
+					b.walk(n, fd.Body)
+				}
+			}
+		}
+	}
+
+	// Reverse view, in deterministic node/edge order.
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Callee != nil {
+				e.Callee.In = append(e.Callee.In, e)
+				e.Callee.InFrom = append(e.Callee.InFrom, n)
+			}
+		}
+	}
+	return g
+}
+
+// GoReachable reports, per node index, whether the node is reachable
+// from any goroutine entry point through calls, callbacks and
+// references — the "may run off the spawning thread" set.
+func (g *Graph) GoReachable() []bool {
+	if g.goReach != nil {
+		return g.goReach
+	}
+	reach := make([]bool, len(g.Nodes))
+	var stack []*Node
+	for _, n := range g.Nodes {
+		if n.GoRoot {
+			reach[n.Index] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if e.Callee != nil && !reach[e.Callee.Index] {
+				reach[e.Callee.Index] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	g.goReach = reach
+	return reach
+}
+
+// graphBuilder carries the per-build indexes.
+type graphBuilder struct {
+	g *Graph
+	// methodsByName fans interface method calls out to module
+	// implementations.
+	methodsByName map[string][]*Node
+}
+
+func (b *graphBuilder) newNode() *Node {
+	n := &Node{Index: len(b.g.Nodes)}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *graphBuilder) indexMethods() {
+	b.methodsByName = make(map[string][]*Node)
+	for _, n := range b.g.Nodes {
+		if n.Func != nil && n.Func.Type().(*types.Signature).Recv() != nil {
+			b.methodsByName[n.Func.Name()] = append(b.methodsByName[n.Func.Name()], n)
+		}
+	}
+}
+
+// walk visits one function body (not descending into literals, which
+// recurse through their own walk with a child node).
+func (b *graphBuilder) walk(n *Node, body *ast.BlockStmt) {
+	info := n.Pkg.TypesInfo
+	// funPos marks expressions appearing as the Fun of a call, so the
+	// reference pass below can tell call position from value position.
+	funPos := make(map[ast.Expr]bool)
+	// callKind upgrades direct go/defer calls.
+	callKind := make(map[*ast.CallExpr]EdgeKind)
+	// litRole records how a literal is introduced (callback target or
+	// goroutine root) before its node exists.
+	litRole := make(map[*ast.FuncLit]litIntro)
+
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			child := b.newNode()
+			child.Lit = x
+			child.Pkg = n.Pkg
+			child.Parent = n
+			b.g.lits[x] = child
+			role := litRole[x]
+			if role.goRoot {
+				child.GoRoot = true
+			}
+			from := n
+			kind := EdgeRef
+			switch {
+			case role.kind != 0 || role.direct:
+				kind = role.kind
+				if role.from != nil {
+					from = role.from
+				}
+			}
+			from.Out = append(from.Out, &Edge{Site: x, Kind: kind, Callee: child})
+			b.walk(child, x.Body)
+			return false
+
+		case *ast.GoStmt:
+			callKind[x.Call] = EdgeGo
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				litRole[lit] = litIntro{direct: true, kind: EdgeGo, goRoot: true}
+			}
+			return true
+
+		case *ast.DeferStmt:
+			callKind[x.Call] = EdgeDefer
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				litRole[lit] = litIntro{direct: true, kind: EdgeDefer}
+			}
+			return true
+
+		case *ast.CallExpr:
+			b.call(n, info, x, callKind[x], funPos, litRole)
+			return true
+
+		case *ast.Ident:
+			if funPos[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				b.ref(n, x, fn)
+			}
+			return true
+
+		case *ast.SelectorExpr:
+			if funPos[x] {
+				// Still descend: the receiver expression may itself
+				// reference functions.
+				return true
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				b.ref(n, x, fn)
+				// The Sel ident would double-report; descend into X only.
+				ast.Inspect(x.X, func(y ast.Node) bool {
+					if c, ok := y.(*ast.CallExpr); ok {
+						b.call(n, info, c, callKind[c], funPos, litRole)
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		}
+		return true
+	})
+	_ = funPos
+}
+
+// litIntro records how a function literal was introduced.
+type litIntro struct {
+	direct bool     // directly called (go f(), defer f(), f()())
+	kind   EdgeKind // edge kind for the introducing edge
+	from   *Node    // edge source when not the enclosing function
+	goRoot bool
+}
+
+// call records the edges of one call expression: the callee edge plus
+// classification of any function-valued arguments.
+func (b *graphBuilder) call(n *Node, info *types.Info, call *ast.CallExpr, kind EdgeKind, funPos map[ast.Expr]bool, litRole map[*ast.FuncLit]litIntro) {
+	fun := ast.Unparen(call.Fun)
+	funPos[fun] = true
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		funPos[sel.Sel] = true
+	}
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		// Immediately-invoked literal: mark so the literal pass adds a
+		// call edge rather than a bare reference.
+		if _, seen := litRole[lit]; !seen {
+			litRole[lit] = litIntro{direct: true, kind: EdgeCall}
+		}
+	}
+
+	// A conversion, not a call: T(f). Function-typed conversions keep
+	// the operand's reference semantics (handled by the reference
+	// pass); there is no callee.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	callee := b.staticCallee(info, fun)
+	if callee != nil {
+		if isMutexLock(callee) {
+			n.Locks = true
+		}
+		edgeKind := kind
+		if edgeKind == 0 {
+			edgeKind = EdgeCall
+		}
+		target := b.g.byFunc[callee]
+		if target == nil && isInterfaceMethod(callee) {
+			// Fan an interface call out to module implementations.
+			for _, impl := range b.implementations(callee) {
+				n.Out = append(n.Out, &Edge{Site: call, Kind: edgeKind, Callee: impl, Fn: impl.Func})
+			}
+			b.classifyFuncArgs(n, info, call, callee, litRole)
+			return
+		}
+		n.Out = append(n.Out, &Edge{Site: call, Kind: edgeKind, Callee: target, Fn: callee})
+		if target != nil && kind == EdgeGo {
+			target.GoRoot = true
+		}
+	}
+	b.classifyFuncArgs(n, info, call, callee, litRole)
+}
+
+// classifyFuncArgs decides what a function value handed to a call
+// means: registered on the net/http surface it becomes a goroutine
+// root; handed to a module function it becomes that function's
+// callback; handed to anything else it is assumed to be invoked
+// synchronously by the enclosing function.
+func (b *graphBuilder) classifyFuncArgs(n *Node, info *types.Info, call *ast.CallExpr, callee *types.Func, litRole map[*ast.FuncLit]litIntro) {
+	spawns := callee != nil && spawnsGoroutine(callee)
+	var calleeNode *Node
+	if callee != nil {
+		calleeNode = b.g.byFunc[callee]
+	}
+	for _, arg := range call.Args {
+		lit, fn, site := funcValue(info, arg)
+		switch {
+		case lit != nil:
+			switch {
+			case spawns:
+				litRole[lit] = litIntro{direct: true, kind: EdgeGo, goRoot: true}
+			case calleeNode != nil:
+				litRole[lit] = litIntro{direct: true, kind: EdgeCallback, from: calleeNode}
+			default:
+				litRole[lit] = litIntro{direct: true, kind: EdgeCall}
+			}
+		case fn != nil:
+			target := b.g.byFunc[fn]
+			if target == nil {
+				continue
+			}
+			switch {
+			case spawns:
+				target.GoRoot = true
+			case calleeNode != nil:
+				calleeNode.Out = append(calleeNode.Out, &Edge{Site: site, Kind: EdgeCallback, Callee: target, Fn: fn})
+			default:
+				n.Out = append(n.Out, &Edge{Site: site, Kind: EdgeCall, Callee: target, Fn: fn})
+			}
+		}
+	}
+}
+
+// ref records a bare function reference (method value, stored
+// handler) against the enclosing function.
+func (b *graphBuilder) ref(n *Node, site ast.Node, fn *types.Func) {
+	target := b.g.byFunc[fn]
+	if target == nil {
+		return
+	}
+	n.Out = append(n.Out, &Edge{Site: site, Kind: EdgeRef, Callee: target, Fn: fn})
+}
+
+// staticCallee resolves the called object for a call through an
+// identifier or selector.
+func (b *graphBuilder) staticCallee(info *types.Info, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// implementations returns the module methods that may satisfy an
+// interface method call: same name, receiver type implements the
+// interface.
+func (b *graphBuilder) implementations(m *types.Func) []*Node {
+	iface := interfaceOf(m)
+	if iface == nil {
+		return nil
+	}
+	var out []*Node
+	for _, cand := range b.methodsByName[m.Name()] {
+		recv := cand.Func.Type().(*types.Signature).Recv().Type()
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// interfaceOf returns the interface a method object belongs to, nil
+// for concrete methods.
+func interfaceOf(m *types.Func) *types.Interface {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func isInterfaceMethod(m *types.Func) bool { return interfaceOf(m) != nil }
+
+// funcValue unwraps an argument to a function literal or a statically
+// known function reference, looking through parentheses and
+// function-typed conversions (http.HandlerFunc(h)).
+func funcValue(info *types.Info, arg ast.Expr) (*ast.FuncLit, *types.Func, ast.Expr) {
+	arg = ast.Unparen(arg)
+	if call, ok := arg.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return funcValue(info, call.Args[0])
+			}
+		}
+	}
+	switch arg := arg.(type) {
+	case *ast.FuncLit:
+		return arg, nil, arg
+	case *ast.Ident:
+		if fn, ok := info.Uses[arg].(*types.Func); ok {
+			return nil, fn, arg
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[arg.Sel].(*types.Func); ok {
+			return nil, fn, arg
+		}
+	}
+	return nil, nil, nil
+}
+
+// isMutexLock matches sync.Mutex.Lock / sync.RWMutex.Lock / RLock.
+func isMutexLock(fn *types.Func) bool {
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Name() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// spawnsGoroutine reports callees that run their function arguments
+// on another goroutine: the net/http registration surface (handlers
+// run per-request on server goroutines) and time.AfterFunc.
+func spawnsGoroutine(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Name() {
+	case "http":
+		switch fn.Name() {
+		case "Handle", "HandleFunc", "Serve", "ListenAndServe", "ListenAndServeTLS":
+			return true
+		}
+	case "time":
+		return fn.Name() == "AfterFunc"
+	}
+	return false
+}
+
+// isServeHTTP matches the http.Handler method shape by name and
+// arity, so implementing the interface marks the method a goroutine
+// entry even when the registration happens outside the module.
+func isServeHTTP(fn *types.Func) bool {
+	if fn.Name() != "ServeHTTP" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && sig.Params().Len() == 2
+}

@@ -1,0 +1,192 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/dataflow"
+)
+
+// checkPkg type-checks one import-free source file into an
+// analysis.Package, the smallest input Build accepts.
+func checkPkg(t testing.TB, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return &analysis.Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+}
+
+// node finds a declared function's node by name.
+func node(t *testing.T, g *dataflow.Graph, name string) *dataflow.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Func != nil && n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// hasEdge reports whether from has an out-edge of kind to a callee
+// whose resolved function is named callee.
+func hasEdge(from *dataflow.Node, kind dataflow.EdgeKind, callee string) bool {
+	for _, e := range from.Out {
+		if e.Kind != kind || e.Callee == nil {
+			continue
+		}
+		if e.Callee.Func != nil && e.Callee.Func.Name() == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMethodValue checks both readings of a method value: handed to a
+// module function it becomes that function's callback; merely stored
+// it is a bare reference from the storer.
+func TestMethodValue(t *testing.T) {
+	g := dataflow.Build([]*analysis.Package{checkPkg(t, `package p
+type T struct{}
+
+func (t T) M() {}
+
+func run(f func()) { f() }
+
+func use(t T) {
+	run(t.M)
+	h := t.M
+	_ = h
+}
+`)})
+	if !hasEdge(node(t, g, "run"), dataflow.EdgeCallback, "M") {
+		t.Error("run(t.M): want Callback edge run -> M")
+	}
+	if !hasEdge(node(t, g, "use"), dataflow.EdgeRef, "M") {
+		t.Error("h := t.M: want Ref edge use -> M")
+	}
+	if !hasEdge(node(t, g, "use"), dataflow.EdgeCall, "run") {
+		t.Error("run(...): want Call edge use -> run")
+	}
+}
+
+// TestDeferredClosure checks that a deferred literal hangs off its
+// encloser with a Defer edge and that calls inside it still resolve.
+func TestDeferredClosure(t *testing.T) {
+	g := dataflow.Build([]*analysis.Package{checkPkg(t, `package p
+func helper() {}
+
+func d() {
+	defer func() { helper() }()
+}
+`)})
+	d := node(t, g, "d")
+	var lit *dataflow.Node
+	for _, e := range d.Out {
+		if e.Kind == dataflow.EdgeDefer && e.Callee != nil && e.Callee.Lit != nil {
+			lit = e.Callee
+		}
+	}
+	if lit == nil {
+		t.Fatal("want Defer edge d -> closure")
+	}
+	if lit.Parent != d {
+		t.Error("closure's Parent is not d")
+	}
+	if !hasEdge(lit, dataflow.EdgeCall, "helper") {
+		t.Error("want Call edge closure -> helper")
+	}
+}
+
+// TestVariadicCall checks every function value in a variadic argument
+// list becomes a callback of the callee.
+func TestVariadicCall(t *testing.T) {
+	g := dataflow.Build([]*analysis.Package{checkPkg(t, `package p
+func v(fs ...func()) {
+	for _, f := range fs {
+		f()
+	}
+}
+
+func a() {}
+func b() {}
+
+func use() { v(a, b) }
+`)})
+	v := node(t, g, "v")
+	if !hasEdge(v, dataflow.EdgeCallback, "a") || !hasEdge(v, dataflow.EdgeCallback, "b") {
+		t.Error("v(a, b): want Callback edges v -> a and v -> b")
+	}
+}
+
+// TestGoReachable checks goroutine roots and transitive reachability:
+// the spawned function and everything it calls are reachable, the
+// spawner is not.
+func TestGoReachable(t *testing.T) {
+	g := dataflow.Build([]*analysis.Package{checkPkg(t, `package p
+func spawn() { go worker() }
+
+func worker() { leaf() }
+
+func leaf() {}
+`)})
+	worker := node(t, g, "worker")
+	if !worker.GoRoot {
+		t.Error("go worker(): worker not marked GoRoot")
+	}
+	reach := g.GoReachable()
+	if !reach[worker.Index] || !reach[node(t, g, "leaf").Index] {
+		t.Error("worker and leaf should be goroutine-reachable")
+	}
+	if reach[node(t, g, "spawn").Index] {
+		t.Error("spawn itself should not be goroutine-reachable")
+	}
+}
+
+// TestInterfaceFanOut checks an interface method call resolves to the
+// module implementations of that method.
+func TestInterfaceFanOut(t *testing.T) {
+	g := dataflow.Build([]*analysis.Package{checkPkg(t, `package p
+type I interface{ M() }
+
+type T struct{}
+
+func (T) M() {}
+
+type U struct{}
+
+func (*U) M() {}
+
+func callIface(i I) { i.M() }
+`)})
+	ci := node(t, g, "callIface")
+	count := 0
+	for _, e := range ci.Out {
+		if e.Kind == dataflow.EdgeCall && e.Callee != nil && e.Callee.Func != nil && e.Callee.Func.Name() == "M" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("i.M(): fanned out to %d implementations, want 2 (T and *U)", count)
+	}
+}

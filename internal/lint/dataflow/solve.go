@@ -1,0 +1,84 @@
+package dataflow
+
+import "go/ast"
+
+// Fact is an analyzer-defined lattice element. nil is bottom: the
+// fact of unreachable code. The solver never calls Join, Transfer or
+// Equal with a nil fact.
+type Fact any
+
+// Flow packages an analyzer's lattice operations for the forward
+// solver.
+type Flow struct {
+	// Join combines the facts of two predecessors at a merge point.
+	// It must be commutative, associative and idempotent, and must
+	// not mutate its arguments.
+	Join func(a, b Fact) Fact
+	// Transfer applies one block node's effect. It may return its
+	// input unchanged when the node has no effect; when it has one,
+	// it must return a fresh fact rather than mutating in.
+	Transfer func(n ast.Node, in Fact) Fact
+	// Equal detects the fixpoint.
+	Equal func(a, b Fact) bool
+}
+
+// Forward computes the entry fact of every block by iterating the
+// transfer functions to a fixpoint. init is the fact at function
+// entry. The returned slice is indexed by Block.Index; unreachable
+// blocks keep a nil (bottom) fact.
+//
+// The iteration order is the deterministic block-index order repeated
+// until stable, so two runs over the same syntax produce identical
+// facts (and therefore identical diagnostics) regardless of map or
+// scheduling noise in the host process.
+func (c *CFG) Forward(init Fact, fl Flow) []Fact {
+	in := make([]Fact, len(c.Blocks))
+	in[0] = init
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.Blocks {
+			fact := in[blk.Index]
+			if fact == nil {
+				continue
+			}
+			out := c.transferBlock(blk, fact, fl)
+			for _, succ := range blk.Succs {
+				merged := out
+				if prev := in[succ.Index]; prev != nil {
+					merged = fl.Join(prev, out)
+					if fl.Equal(prev, merged) {
+						continue
+					}
+				}
+				in[succ.Index] = merged
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+func (c *CFG) transferBlock(blk *Block, fact Fact, fl Flow) Fact {
+	for _, n := range blk.Nodes {
+		fact = fl.Transfer(n, fact)
+	}
+	return fact
+}
+
+// Visit replays the solved facts through every reachable block in
+// index order, calling visit with each node and the fact holding
+// immediately before it. Analyzers report diagnostics from visit,
+// with the solver's facts describing what is known on entry to the
+// node across all paths.
+func (c *CFG) Visit(in []Fact, fl Flow, visit func(n ast.Node, before Fact)) {
+	for _, blk := range c.Blocks {
+		fact := in[blk.Index]
+		if fact == nil {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			visit(n, fact)
+			fact = fl.Transfer(n, fact)
+		}
+	}
+}

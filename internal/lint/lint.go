@@ -1,27 +1,39 @@
 // Package lint assembles the memlint analyzer suite: the
 // simulator-specific static checks (determinism, event-time sanity,
-// error propagation, stats wiring) that go vet cannot express, plus
-// the lintdirective check that keeps the //lint:ignore escape hatch
-// honest. cmd/memlint runs the suite standalone or as a
-// `go vet -vettool` binary; DESIGN.md §9 documents each invariant.
+// error propagation, stats wiring) that go vet cannot express, the
+// CFG/dataflow analyzers built on internal/lint/dataflow (concurrency
+// boundaries, context propagation, time-unit taint, interprocedural
+// error dropping; DESIGN.md §14), plus the lintdirective check that
+// keeps the //lint:ignore escape hatch honest. cmd/memlint runs the
+// suite standalone or as a `go vet -vettool` binary; DESIGN.md §9
+// documents each invariant.
 package lint
 
 import (
 	"memsim/internal/lint/analysis"
+	"memsim/internal/lint/analyzers/atomiccross"
+	"memsim/internal/lint/analyzers/ctxflow"
 	"memsim/internal/lint/analyzers/errdrop"
+	"memsim/internal/lint/analyzers/errdropip"
 	"memsim/internal/lint/analyzers/eventtime"
 	"memsim/internal/lint/analyzers/simdeterminism"
 	"memsim/internal/lint/analyzers/statreg"
+	"memsim/internal/lint/analyzers/unitflow"
 )
 
 // Suite returns the full analyzer suite in the order diagnostics are
-// attributed. The order is stable so output is reproducible.
+// attributed. The order is stable so output is reproducible; the
+// dataflow analyzers come after the syntactic ones they extend.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		simdeterminism.Analyzer,
 		eventtime.Analyzer,
 		errdrop.Analyzer,
 		statreg.Analyzer,
+		atomiccross.Analyzer,
+		ctxflow.Analyzer,
+		unitflow.Analyzer,
+		errdropip.Analyzer,
 		analysis.Lintdirective,
 	}
 }

@@ -50,7 +50,11 @@ var probe = &analysis.Analyzer{
 }
 
 func TestSuite(t *testing.T) {
-	want := []string{"simdeterminism", "eventtime", "errdrop", "statreg", "lintdirective"}
+	want := []string{
+		"simdeterminism", "eventtime", "errdrop", "statreg",
+		"atomiccross", "ctxflow", "unitflow", "errdropip",
+		"lintdirective",
+	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))
@@ -129,6 +133,43 @@ var d = 4
 	// well-formed one (line 3) is not.
 	if len(lines) != 3 || lines[0] != 6 || lines[1] != 9 || lines[2] != 12 {
 		t.Fatalf("malformed-directive diagnostics on lines %v, want [6 9 12]", lines)
+	}
+}
+
+func TestUnusedDirectiveAudit(t *testing.T) {
+	const src = `package d
+
+//lint:ignore probe this one suppresses the := below
+var used = func() int { a := 1; return a }()
+
+//lint:ignore probe nothing on this line produces a diagnostic
+var unused = 2
+
+//lint:ignore notrun analyzers outside this run cannot be judged
+var other = 3
+
+//lint:ignore lintdirective the unused suppression below is deliberate
+//lint:ignore probe kept deliberately
+var kept = 4
+`
+	fset, pkg := parse(t, src)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{probe, analysis.Lintdirective})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var lines []int
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "unused //lint:ignore directive") {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+		lines = append(lines, fset.Position(d.Pos).Line)
+	}
+	// Only the directive on line 6 is flagged: line 3 suppressed a real
+	// probe diagnostic, line 9 names an analyzer that did not run, and
+	// line 13's audit finding is itself suppressed by line 12 — which
+	// makes line 12 used (the two-round rule).
+	if len(lines) != 1 || lines[0] != 6 {
+		t.Fatalf("unused-directive diagnostics on lines %v, want [6]; diags: %v", lines, diags)
 	}
 }
 

@@ -1,6 +1,9 @@
 package loader_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"memsim/internal/lint/loader"
@@ -33,6 +36,44 @@ func TestLoadModulePackage(t *testing.T) {
 	}
 	if sched := pkg.Types.Scope().Lookup("Scheduler"); sched == nil {
 		t.Error("Scheduler not found in package scope")
+	}
+}
+
+// TestExcludesTestFiles pins the call graph's blindness to test code:
+// go list's GoFiles omits _test.go, so test-only functions never
+// become nodes and can never mark production code goroutine-reachable.
+func TestExcludesTestFiles(t *testing.T) {
+	ld := loader.New(".")
+	pkgs, err := ld.Load("memsim/internal/sim")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) == 0 {
+		t.Fatal("no syntax files")
+	}
+	dir := ""
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file loaded: %s", name)
+		}
+		dir = filepath.Dir(name)
+	}
+	// The exclusion only proves something if the directory really has
+	// test files to exclude.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	hasTests := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			hasTests = true
+		}
+	}
+	if !hasTests {
+		t.Fatalf("%s has no _test.go files; pick a package that does", dir)
 	}
 }
 

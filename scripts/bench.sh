@@ -19,6 +19,10 @@
 # present in both whose ns/op worsened by more than 10% fails the
 # script (exit 1), which is the CI throughput-regression gate.
 # Benchmarks present on only one side (new or retired) are skipped.
+# -c also times a full-tree memlint run against a wall-clock budget
+# (MEMLINT_BUDGET_SECONDS, default 60): the static-analysis suite has
+# to stay interactive, and a pathological interprocedural pass would
+# otherwise land silently.
 set -eu
 
 pattern='.'
@@ -45,8 +49,13 @@ stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 # iteration is a stable sample; the scheduler microbenchmarks are
 # nanosecond-scale and need many iterations for the same stability.
 sim_benchtime='200000x'
+# The lint microbenchmarks (call-graph build, dataflow solve) are
+# microsecond-scale on a fixed in-memory package; a few thousand
+# iterations give a stable sample.
+lint_benchtime='2000x'
 raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count 1 .
-      go test -run '^$' -bench "$pattern" -benchtime "$sim_benchtime" -count 1 ./internal/sim)
+      go test -run '^$' -bench "$pattern" -benchtime "$sim_benchtime" -count 1 ./internal/sim
+      go test -run '^$' -bench "$pattern" -benchtime "$lint_benchtime" -count 1 ./internal/lint/dataflow)
 
 printf '%s\n' "$raw" | awk -v goversion="$goversion" -v rev="$rev" -v stamp="$stamp" '
 BEGIN {
@@ -107,4 +116,18 @@ if [ -n "$compare" ]; then
     }
     printf "bench.sh: %d shared benchmark(s) within 10%% of %s\n", shared, old
   }'
+
+  # memlint wall-clock budget. A full-tree run (load + type-check +
+  # module call graph + all analyzers) takes a few seconds today; the
+  # budget catches a pass going superlinear without flaking on slow
+  # runners.
+  budget=${MEMLINT_BUDGET_SECONDS:-60}
+  lint_start=$(date +%s)
+  go run ./cmd/memlint ./... >/dev/null
+  lint_elapsed=$(( $(date +%s) - lint_start ))
+  echo "bench.sh: memlint full tree in ${lint_elapsed}s (budget ${budget}s)"
+  if [ "$lint_elapsed" -gt "$budget" ]; then
+    echo "bench.sh: memlint exceeded its ${budget}s wall-clock budget" >&2
+    exit 1
+  fi
 fi
