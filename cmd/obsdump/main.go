@@ -43,6 +43,10 @@ func main() {
 // span is one busy interval on a track, in us.
 type span struct{ s, e float64 }
 
+// trackKey identifies a track across processes: a cluster trace holds
+// one pid per system, and tids repeat within every system.
+type trackKey struct{ pid, tid int }
+
 // track accumulates per-channel-track state.
 type track struct {
 	name     string
@@ -61,8 +65,9 @@ type summary struct {
 	events     int
 	spanStart  float64 // us
 	spanEnd    float64
-	tracks     map[int]*track
-	names      map[int]string // tid -> thread_name metadata
+	tracks     map[trackKey]*track
+	names      map[trackKey]string // (pid, tid) -> thread_name metadata
+	procs      map[int]string      // pid -> process_name (system label)
 	byKind     map[string]int
 	conflicts  map[uint64]int // bank -> conflict precharges
 	precharges map[string]int // reason -> count
@@ -71,8 +76,9 @@ type summary struct {
 
 func summarize(tr *obs.ChromeTrace) *summary {
 	s := &summary{
-		tracks:     map[int]*track{},
-		names:      map[int]string{},
+		tracks:     map[trackKey]*track{},
+		names:      map[trackKey]string{},
+		procs:      map[int]string{},
 		byKind:     map[string]int{},
 		conflicts:  map[uint64]int{},
 		precharges: map[string]int{},
@@ -81,8 +87,11 @@ func summarize(tr *obs.ChromeTrace) *summary {
 	}
 	for _, e := range tr.TraceEvents {
 		if e.Ph == "M" {
-			if e.Name == "thread_name" {
-				s.names[e.Tid] = e.Args["name"]
+			switch e.Name {
+			case "thread_name":
+				s.names[trackKey{e.Pid, e.Tid}] = e.Args["name"]
+			case "process_name":
+				s.procs[e.Pid] = e.Args["name"]
 			}
 			continue
 		}
@@ -100,7 +109,7 @@ func summarize(tr *obs.ChromeTrace) *summary {
 		s.byKind[e.Name]++
 		switch kind {
 		case obs.EvChannelBusy:
-			t := s.track(e.Tid)
+			t := s.track(trackKey{e.Pid, e.Tid})
 			t.spans = append(t.spans, span{e.Ts, e.Ts + e.Dur})
 			t.accesses++
 			class := e.Args["class"]
@@ -127,19 +136,19 @@ func summarize(tr *obs.ChromeTrace) *summary {
 	return s
 }
 
-func (s *summary) track(tid int) *track {
-	t, ok := s.tracks[tid]
+func (s *summary) track(k trackKey) *track {
+	t, ok := s.tracks[k]
 	if !ok {
 		t = &track{
-			name:        s.names[tid],
+			name:        s.names[k],
 			byClass:     map[string]int{},
 			rowHits:     map[string]int{},
 			transitions: map[string]int{},
 		}
 		if t.name == "" {
-			t.name = fmt.Sprintf("tid %d", tid)
+			t.name = fmt.Sprintf("tid %d", k.tid)
 		}
-		s.tracks[tid] = t
+		s.tracks[k] = t
 	}
 	return t
 }
@@ -148,18 +157,47 @@ func (s *summary) print(w *os.File, path string, top int) {
 	span := s.spanEnd - s.spanStart
 	fmt.Fprintf(w, "trace          %s: %d events over %.1f us\n", path, s.events, span)
 
-	tids := make([]int, 0, len(s.tracks))
-	for tid := range s.tracks {
-		tids = append(tids, tid)
+	keys := make([]trackKey, 0, len(s.tracks))
+	for k := range s.tracks {
+		keys = append(keys, k)
 	}
-	sort.Ints(tids)
-	for _, tid := range tids {
-		t := s.tracks[tid]
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	// A cluster trace holds one pid per system (plus the shared
+	// fabric): group the channel utilization and row-hit tables under
+	// their system label. A single-system trace keeps the classic flat
+	// layout.
+	multi := len(s.procs) > 1
+	for _, k := range keys {
+		if k.pid != keys[0].pid {
+			multi = true
+			break
+		}
+	}
+	lastPid := -1
+	for _, k := range keys {
+		t := s.tracks[k]
+		if multi && k.pid != lastPid {
+			lastPid = k.pid
+			label := s.procs[k.pid]
+			if label == "" {
+				label = fmt.Sprintf("pid %d", k.pid)
+			}
+			fmt.Fprintf(w, "system         %s\n", label)
+		}
 		util := 0.0
 		if span > 0 {
 			util = 100 * busyUnion(t.spans) / span
 		}
-		fmt.Fprintf(w, "%-14s %d accesses, %.1f%% utilized", t.name, t.accesses, util)
+		name := t.name
+		if multi {
+			name = "  " + name
+		}
+		fmt.Fprintf(w, "%-14s %d accesses, %.1f%% utilized", name, t.accesses, util)
 		classes := make([]string, 0, len(t.byClass))
 		for class := range t.byClass {
 			classes = append(classes, class)

@@ -88,6 +88,11 @@ type Result struct {
 	// CmdDone is when the access's last command packet has been placed.
 	// The controller may make its next issue decision at this time.
 	CmdDone sim.Time
+	// DataTime is the data-bus time this access consumed: one packet
+	// time per column packet. The data bus serializes all traffic, so
+	// summing DataTime per requester yields exact occupancy shares
+	// (the cluster arbiter's fairness accounting).
+	DataTime sim.Time
 	// RowHit reports whether the first span of the access found its row
 	// open in the sense amps.
 	RowHit bool
@@ -452,6 +457,7 @@ func (ch *Channel) Access(now sim.Time, spans []addrmap.Span, class Class, write
 			ch.stats.DataPackets++
 			ch.stats.ColBusy += tm.Packet
 			ch.stats.DataBusy += tm.Packet
+			res.DataTime += tm.Packet
 			res.Start = min(res.Start, t)
 			if res.FirstData == 0 {
 				res.FirstData = dstart + tm.Packet

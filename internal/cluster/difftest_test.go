@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDifferentialEngines is the cluster differential harness: seeded
+// random cluster programs must produce bit-identical merged Results
+// (including the fire-log digest) between the sequential reference
+// engine and the parallel sharded engine, across GOMAXPROCS settings.
+// Failures come back ddmin-shrunk.
+//
+// The seed budget splits across the GOMAXPROCS values so the full run
+// covers over 1k (program, procs) executions in -short mode's
+// neighborhood while staying well under a minute.
+func TestDifferentialEngines(t *testing.T) {
+	seeds := 400
+	if testing.Short() {
+		seeds = 60
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for s := 0; s < seeds; s++ {
+			seed := uint64(procs*100_000 + s)
+			if report := Check(seed); report != "" {
+				t.Fatalf("GOMAXPROCS=%d: %s", procs, report)
+			}
+		}
+	}
+}
+
+// TestMinimizeKeepsNonDiverging pins Minimize's contract on healthy
+// configs: a program the engines agree on comes back unchanged.
+func TestMinimizeKeepsNonDiverging(t *testing.T) {
+	cfg := GenProgram(7)
+	m := Minimize(cfg)
+	if len(m.Systems) != len(cfg.Systems) || m.MaxInstrs != cfg.MaxInstrs {
+		t.Fatalf("Minimize mutated a non-diverging config: %+v -> %+v", cfg, m)
+	}
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"fmt"
+
+	"memsim/internal/addrmap"
+	"memsim/internal/channel"
+	"memsim/internal/core"
+	"memsim/internal/memctrl"
+	"memsim/internal/obs"
+	"memsim/internal/sim"
+)
+
+// msgKind discriminates the cross-shard message types.
+type msgKind uint8
+
+const (
+	// msgRequest carries a block transfer from a system to the memory
+	// shard.
+	msgRequest msgKind = iota
+	// msgFirstData reports the critical word back to the requester
+	// (demand misses that registered a first-data callback only).
+	msgFirstData
+	// msgComplete reports full-block completion back to the requester;
+	// it also closes the request's entry in the system's pending table.
+	msgComplete
+)
+
+// message is one cross-shard event. It is pure comparable data — no
+// pointers, no closures — so shards share nothing: request closures
+// stay on the owning system shard, keyed by ID in its pending table.
+type message struct {
+	// DeliverAt is the absolute delivery time: send time plus the link
+	// latency, which always lands in a strictly later epoch.
+	DeliverAt sim.Time
+	// Src is the sending shard (systems 0..N-1, memory shard N) and
+	// Seq its per-source send counter; together with DeliverAt they
+	// define the canonical total order messages are merged in.
+	Src int
+	Seq uint64
+
+	Kind msgKind
+	// Sys is the owning system and ID the request's slot in that
+	// system's pending table.
+	Sys int
+	ID  uint64
+
+	// Request payload (msgRequest only).
+	Addr, Size uint64
+	Class      channel.Class
+	Write      bool
+	// NeedFirst marks requests whose submitter wants the critical-word
+	// callback, so the memory shard sends msgFirstData only when
+	// someone is listening.
+	NeedFirst bool
+}
+
+// msgLess is the canonical merge order: delivery time, then source
+// shard, then per-source sequence. The triple is unique (Seq never
+// repeats within a Src), so the order is total and independent of
+// which goroutine produced which message first.
+func msgLess(a, b message) bool {
+	if a.DeliverAt != b.DeliverAt {
+		return a.DeliverAt < b.DeliverAt
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// systemShard wraps one core system: its private scheduler, the
+// pending table mapping request IDs to the live *memctrl.Request
+// closures, and the outbox drained at each barrier. It implements
+// core.ExternalMemory, so the system's miss path lands in Submit.
+type systemShard struct {
+	idx   int
+	label string
+	sys   *core.System
+	sched *sim.Scheduler
+	link  sim.Time
+
+	nextID  uint64
+	seq     uint64
+	pending map[uint64]*memctrl.Request
+	outbox  []message
+
+	deliverCB sim.Callback
+}
+
+func newSystemShard(idx int, label string, link sim.Time) *systemShard {
+	sh := &systemShard{
+		idx:     idx,
+		label:   label,
+		link:    link,
+		pending: make(map[uint64]*memctrl.Request),
+	}
+	sh.deliverCB = func(at sim.Time, arg any) { sh.onDeliver(at, arg.(message)) }
+	return sh
+}
+
+// attach binds the built system (newSystemShard must exist first: the
+// shard is the ExternalMemory passed to core.NewExternal).
+func (sh *systemShard) attach(sys *core.System) {
+	sh.sys = sys
+	sh.sched = sys.Sched()
+}
+
+// Submit implements core.ExternalMemory: park the request in the
+// pending table and post its wire form to the outbox.
+func (sh *systemShard) Submit(r *memctrl.Request) {
+	id := sh.nextID
+	sh.nextID++
+	sh.pending[id] = r
+	sh.post(message{
+		Kind:      msgRequest,
+		Sys:       sh.idx,
+		ID:        id,
+		Addr:      r.Addr,
+		Size:      r.Size,
+		Class:     r.Class,
+		Write:     r.Write,
+		NeedFirst: r.OnFirstData != nil,
+	})
+}
+
+// post stamps and queues an outgoing message; it leaves the shard at
+// the next barrier.
+func (sh *systemShard) post(m message) {
+	m.DeliverAt = sh.sched.Now() + sh.link
+	m.Src = sh.idx
+	m.Seq = sh.seq
+	sh.seq++
+	sh.outbox = append(sh.outbox, m)
+}
+
+// inject schedules an incoming message's delivery on the shard's own
+// scheduler. Called at barriers only, in canonical message order, so
+// scheduler sequence numbers — and therefore same-instant event order
+// — are identical in both engines.
+func (sh *systemShard) inject(m message) {
+	sh.sched.AtCall(m.DeliverAt, sh.deliverCB, m)
+}
+
+// onDeliver resolves an incoming completion against the pending table.
+func (sh *systemShard) onDeliver(at sim.Time, m message) {
+	r, ok := sh.pending[m.ID]
+	if !ok {
+		panic(fmt.Sprintf("cluster: %s: completion for unknown request %d (kind %d)", sh.label, m.ID, m.Kind))
+	}
+	switch m.Kind {
+	case msgFirstData:
+		if r.OnFirstData != nil {
+			r.OnFirstData(at)
+		}
+	case msgComplete:
+		delete(sh.pending, m.ID)
+		if r.OnComplete != nil {
+			r.OnComplete(at)
+		}
+	default:
+		panic(fmt.Sprintf("cluster: %s: unexpected message kind %d", sh.label, m.Kind))
+	}
+}
+
+// memoryShard owns the shared fabric: one arbiter+channel+mapper per
+// physical channel, all on one private scheduler. It receives request
+// messages at barriers, skews each system into its own slice of the
+// physical address space, stripes blocks across channels, and posts
+// completions back through its outbox.
+type memoryShard struct {
+	idx   int
+	sched *sim.Scheduler
+	link  sim.Time
+
+	arbs   []*memctrl.Arbiter
+	chns   []*channel.Channel
+	obs    *obs.Observer // fabric-level channel/bank lanes (tracing only)
+	seq    uint64
+	outbox []message
+
+	capacity   uint64
+	blockBytes uint64
+	skew       uint64
+
+	requestCB sim.Callback
+}
+
+// fabricBlockBytes is the channel-stripe granule. Systems submit
+// L2-block-sized transfers; a transfer is served whole by the channel
+// owning its first granule.
+const fabricBlockBytes = 64
+
+func newMemoryShard(idx int, cfg Config, nsys int) (*memoryShard, error) {
+	engine, err := sim.ParseEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	ms := &memoryShard{
+		idx:        idx,
+		sched:      sim.NewSchedulerEngine(engine),
+		link:       cfg.LinkLatency,
+		blockBytes: fabricBlockBytes,
+		skew:       skewBlocks * fabricBlockBytes,
+	}
+	ms.requestCB = func(at sim.Time, arg any) { ms.onRequest(at, arg.(message)) }
+	if cfg.Obs.Trace {
+		// The fabric gets its own trace lanes (one channel/bank pair
+		// per physical channel) exported as the "fabric" process next
+		// to the per-system processes.
+		ms.obs = obs.New(obs.Config{Trace: true, TraceEvents: cfg.Obs.TraceEvents}, ms.sched.Now)
+	}
+
+	geom := addrmap.Geometry{Channels: 1, DevicesPerChannel: cfg.DevicesPerChannel}
+	ms.capacity = geom.Capacity() * uint64(cfg.Channels)
+	chCfg := channel.Config{Geometry: geom, Timing: cfg.Timing, ClosedPage: cfg.ClosedPage}
+	for c := 0; c < cfg.Channels; c++ {
+		mapr, err := addrmap.ByName(cfg.Mapping, geom)
+		if err != nil {
+			return nil, err
+		}
+		chn, err := channel.New(chCfg)
+		if err != nil {
+			return nil, err
+		}
+		arb, err := memctrl.NewArbiter(ms.sched, chn, mapr, nsys)
+		if err != nil {
+			return nil, err
+		}
+		if ms.obs != nil {
+			chn.Observe(ms.obs, c)
+		}
+		ms.chns = append(ms.chns, chn)
+		ms.arbs = append(ms.arbs, arb)
+	}
+	return ms, nil
+}
+
+// inject schedules an incoming request's arrival at the fabric.
+func (ms *memoryShard) inject(m message) {
+	ms.sched.AtCall(m.DeliverAt, ms.requestCB, m)
+}
+
+// localAddr compacts a fabric address into its channel's private
+// space (the same block-stripe compaction core uses for independent
+// interleaving).
+func (ms *memoryShard) localAddr(addr uint64) uint64 {
+	n := uint64(len(ms.arbs))
+	if n == 1 {
+		return addr
+	}
+	return addr/ms.blockBytes/n*ms.blockBytes + addr%ms.blockBytes
+}
+
+// onRequest lands a system's transfer on the owning channel's arbiter.
+func (ms *memoryShard) onRequest(_ sim.Time, m message) {
+	addr := (m.Addr + uint64(m.Sys)*ms.skew) % ms.capacity
+	ch := int(addr / ms.blockBytes % uint64(len(ms.arbs)))
+	sys, id := m.Sys, m.ID
+	ar := &memctrl.ArbRequest{
+		Sys:   sys,
+		Addr:  ms.localAddr(addr),
+		Size:  m.Size,
+		Class: m.Class,
+		Write: m.Write,
+	}
+	if m.NeedFirst {
+		ar.OnFirstData = func(at sim.Time) { ms.post(msgFirstData, sys, id, at) }
+	}
+	ar.OnComplete = func(at sim.Time) { ms.post(msgComplete, sys, id, at) }
+	ms.arbs[ch].Submit(ar)
+}
+
+// post queues a completion message back to the owning system.
+func (ms *memoryShard) post(kind msgKind, sys int, id uint64, at sim.Time) {
+	ms.outbox = append(ms.outbox, message{
+		DeliverAt: at + ms.link,
+		Src:       ms.idx,
+		Seq:       ms.seq,
+		Kind:      kind,
+		Sys:       sys,
+		ID:        id,
+	})
+	ms.seq++
+}
+
+// quiet reports whether the fabric can never act again without new
+// input: no scheduled events, no queued or armed arbiters, nothing
+// waiting to leave.
+func (ms *memoryShard) quiet() bool {
+	if ms.sched.Pending() > 0 || len(ms.outbox) > 0 {
+		return false
+	}
+	for _, a := range ms.arbs {
+		if a.Pending() {
+			return false
+		}
+	}
+	return true
+}

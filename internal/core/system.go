@@ -51,6 +51,20 @@ type System struct {
 
 	capacity uint64
 
+	// extMem, when non-nil, replaces the local memory controllers: all
+	// requests route to it with fabric-global addresses and no local
+	// channel state exists (ctrls, chns and maprs stay empty). Set by
+	// NewExternal; internal/cluster uses it to share channels between
+	// systems.
+	extMem ExternalMemory
+
+	// OnProgress, when non-nil, is invoked at the event loop's coarse
+	// sampling stride with the retired-instruction count and current
+	// simulated time. It is a read-only observation hook (the service
+	// layer surfaces it as per-job progress); it must not mutate
+	// simulation state.
+	OnProgress func(retired uint64, now sim.Time)
+
 	// Hardening state (see harden.go): the armed fault injector (nil
 	// when injection is off), the first fatal hardening error, and the
 	// completion counter feeding the watchdog's progress snapshot.
@@ -92,8 +106,44 @@ type pfFill struct {
 	waiters []func(sim.Time)
 }
 
+// ExternalMemory is the memory-backend seam: a fabric that resolves
+// block transfers on behalf of the system. Submit receives requests
+// with fabric-global physical addresses (no group-local translation);
+// the backend must eventually fire OnFirstData/OnComplete on the
+// system's own scheduler.
+type ExternalMemory interface {
+	Submit(r *memctrl.Request)
+}
+
 // New builds a system over the given instruction stream.
 func New(cfg Config, gen trace.Generator) (*System, error) {
+	return newSystem(cfg, gen, nil)
+}
+
+// NewExternal builds a system whose memory requests route to mem
+// instead of locally built controllers and channels. The configured
+// geometry (Channels, DevicesPerChannel) still defines the physical
+// address space, so the fabric and the system agree on capacity.
+//
+// External-memory mode restricts the configuration to what a remote
+// fabric can honor: scheduled and bank-aware prefetching need
+// synchronous access to controller idle state and DRAM row state,
+// which would couple shards, and the hardening monitors (watchdog,
+// paranoid checks) inspect local controllers; all must be off.
+func NewExternal(cfg Config, gen trace.Generator, mem ExternalMemory) (*System, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("core: NewExternal requires a memory backend")
+	}
+	if cfg.Prefetch.Enabled && (cfg.Prefetch.Scheduled || cfg.Prefetch.BankAware) {
+		return nil, fmt.Errorf("core: external memory cannot serve scheduled or bank-aware prefetching (channel idle/row state is remote)")
+	}
+	if cfg.Harden.WatchdogCycles > 0 || cfg.Harden.Paranoid || cfg.Harden.Inject.Enabled() {
+		return nil, fmt.Errorf("core: hardening monitors inspect local controllers; disable Harden in external-memory mode")
+	}
+	return newSystem(cfg, gen, mem)
+}
+
+func newSystem(cfg Config, gen trace.Generator, mem ExternalMemory) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,6 +178,11 @@ func New(cfg Config, gen trace.Generator) (*System, error) {
 		inflight: make(map[uint64]*pfFill),
 		capacity: groupGeom.Capacity() * uint64(groups),
 		pfBuf:    make([][]uint64, groups),
+		extMem:   mem,
+	}
+	if mem != nil {
+		// The fabric owns all channel state; build nothing local.
+		groups = 0
 	}
 
 	chCfg := channel.Config{Geometry: groupGeom, Timing: cfg.Timing, ClosedPage: cfg.ClosedPage}
@@ -224,17 +279,18 @@ func New(cfg Config, gen trace.Generator) (*System, error) {
 // group routes a physical address to its controller: always 0 when
 // ganged, the block-stripe index when independent.
 func (s *System) group(addr uint64) int {
-	if len(s.ctrls) == 1 {
+	if len(s.ctrls) <= 1 {
 		return 0
 	}
 	return int(addr / uint64(s.cfg.L2Block) % uint64(len(s.ctrls)))
 }
 
 // localAddr compacts a global physical address into its channel
-// group's private address space (identity when ganged).
+// group's private address space (identity when ganged or when the
+// memory backend is external: the fabric does its own translation).
 func (s *System) localAddr(addr uint64) uint64 {
 	n := uint64(len(s.ctrls))
-	if n == 1 {
+	if n <= 1 {
 		return addr
 	}
 	bs := uint64(s.cfg.L2Block)
@@ -242,8 +298,13 @@ func (s *System) localAddr(addr uint64) uint64 {
 }
 
 // submit routes a request built on global addresses to its controller,
-// translating the address into the group-local space.
+// translating the address into the group-local space. With an external
+// backend the request leaves with its global address untouched.
 func (s *System) submit(r *memctrl.Request) {
+	if s.extMem != nil {
+		s.extMem.Submit(r)
+		return
+	}
 	g := s.group(r.Addr)
 	r.Addr = s.localAddr(r.Addr)
 	if s.inj != nil && r.Class == channel.Demand {
@@ -317,11 +378,14 @@ func (s *System) RunContext(ctx context.Context) (res Result, err error) {
 	canceled := false
 	done := ctx.Done()
 	tl := s.obs.Timeline
-	if done == nil && tl == nil {
+	if done == nil && tl == nil && s.OnProgress == nil {
 		s.sched.RunWhile(cond)
 	} else {
 		s.sched.RunWhileSampled(cond, ctxCheckEvents, func() bool {
 			tl.MaybeSample(s.sched.Now())
+			if s.OnProgress != nil {
+				s.OnProgress(s.core.Stats().Retired, s.sched.Now())
+			}
 			if done != nil {
 				select {
 				case <-done:
@@ -345,6 +409,29 @@ func (s *System) RunContext(ctx context.Context) (res Result, err error) {
 			s.sched.Now(), s.sched.EventsFired())
 	}
 	tl.ForceSample(s.sched.Now())
+	return s.result(), nil
+}
+
+// Sched exposes the system's private scheduler so an external driver
+// (internal/cluster) can advance it in bounded epochs and inject
+// completion events onto it. Local callers should use Run/RunContext.
+func (s *System) Sched() *sim.Scheduler { return s.sched }
+
+// Done reports whether the core retired its instruction budget.
+func (s *System) Done() bool { return s.core.Done() }
+
+// Snapshot collects the run's Result for a system driven externally
+// (epoch by epoch) rather than through Run. It errors if the core has
+// not finished or a hardening failure fired.
+func (s *System) Snapshot() (Result, error) {
+	if s.fatal != nil {
+		return Result{}, s.fatal
+	}
+	if !s.core.Done() {
+		return Result{}, fmt.Errorf("core: snapshot before completion at %v with %d events fired",
+			s.sched.Now(), s.sched.EventsFired())
+	}
+	s.obs.Timeline.ForceSample(s.sched.Now())
 	return s.result(), nil
 }
 
@@ -555,7 +642,11 @@ func (s *System) notifyPrefetcher(addr uint64) {
 				break
 			}
 			if r, live := s.makePrefetchRequest(block); live {
-				s.ctrls[s.group(block)].Submit(r)
+				if s.extMem != nil {
+					s.extMem.Submit(r)
+				} else {
+					s.ctrls[s.group(block)].Submit(r)
+				}
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"memsim/internal/cluster"
 	"memsim/internal/core"
 	"memsim/internal/vfs"
 )
@@ -41,6 +42,11 @@ type ManifestEntry struct {
 	// (see core.System.ObsMetricsDelta) when the batch armed the
 	// metrics registry; nil otherwise.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Cluster holds a cluster run's merged result (keyed by
+	// ClusterKey); Result is zero for such entries. One cluster run is
+	// one entry — recorded in one atomic flush — so the no-resimulation
+	// invariant (TotalRuns == Len) covers sharded runs unchanged.
+	Cluster *cluster.Result `json:"cluster,omitempty"`
 }
 
 // Manifest is the on-disk checkpoint of a batch: completed results
@@ -168,6 +174,33 @@ func (m *Manifest) Record(key, bench string, res core.Result, metrics map[string
 	}
 	e.Result = res
 	e.Metrics = metrics
+	e.Runs++
+	return m.flushLocked()
+}
+
+// LookupCluster returns the checkpointed cluster result for key, if
+// present.
+func (m *Manifest) LookupCluster(key string) (cluster.Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok || e.Cluster == nil {
+		return cluster.Result{}, false
+	}
+	return *e.Cluster, true
+}
+
+// RecordCluster stores a completed cluster run and flushes the
+// manifest, mirroring Record's error contract.
+func (m *Manifest) RecordCluster(key, name string, res cluster.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[key]
+	if e == nil {
+		e = &ManifestEntry{Bench: name}
+		m.entries[key] = e
+	}
+	e.Cluster = &res
 	e.Runs++
 	return m.flushLocked()
 }

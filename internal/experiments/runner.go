@@ -36,6 +36,7 @@ import (
 	"memsim/internal/harden"
 	"memsim/internal/harden/inject"
 	"memsim/internal/obs"
+	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
 
@@ -89,6 +90,14 @@ type Options struct {
 	// spec hash and is consulted before each run, so a resumed batch
 	// skips work an earlier (possibly interrupted) invocation finished.
 	Checkpoint *Manifest
+
+	// Progress, when non-nil, receives coarse progress from every
+	// in-flight simulation: the instructions retired since the last
+	// report of that run, and the run's current simulated time. Reports
+	// arrive from worker goroutines concurrently; the callback must be
+	// safe for that (cmd/memsimd aggregates with atomics). It is an
+	// observation hook only and must not block.
+	Progress func(retiredDelta uint64, now sim.Time)
 
 	// injectFor, when non-nil, arms the fault-injection harness for the
 	// specs it selects. It exists for the orchestrator tests, which need
@@ -373,6 +382,16 @@ func (r *Runner) runOnce(ctx context.Context, sp spec) (res core.Result, metrics
 	sys, err := core.New(r.specConfig(sp), gen)
 	if err != nil {
 		return core.Result{}, nil, err
+	}
+	if r.opt.Progress != nil {
+		// Delta accounting is per run: each report carries only the
+		// instructions retired since the previous one, so concurrent
+		// runs sum cleanly on the receiver's side.
+		var prev uint64
+		sys.OnProgress = func(retired uint64, now sim.Time) {
+			r.opt.Progress(retired-prev, now)
+			prev = retired
+		}
 	}
 	res, err = sys.RunContext(ctx)
 	if err != nil {

@@ -126,44 +126,63 @@ func eventArgs(e Event) map[string]string {
 // prefixed with the process/thread naming metadata for every track
 // that appears.
 func ChromeEvents(events []Event) []ChromeEvent {
-	tids := map[int]bool{}
-	for _, e := range events {
-		tids[tidFor(e)] = true
-	}
-	order := make([]int, 0, len(tids))
-	for tid := range tids {
-		order = append(order, tid)
-	}
-	sort.Ints(order)
+	return ChromeEventsMulti([]SystemEvents{{Label: "memsim", Events: events}})
+}
 
-	out := make([]ChromeEvent, 0, len(events)+len(order)+1)
-	out = append(out, ChromeEvent{
-		Name: "process_name", Ph: "M", Pid: chromePid,
-		Args: map[string]string{"name": "memsim"},
-	})
-	for _, tid := range order {
+// SystemEvents pairs one system's label with its trace stream for the
+// multi-system export: a cluster run has one stream per member.
+type SystemEvents struct {
+	Label  string
+	Events []Event
+}
+
+// ChromeEventsMulti renders several systems' streams into one trace.
+// System i becomes process pid i+1 named by its label, so the viewer
+// groups each system's channel/bank/prefetch lanes under its own
+// process header on the shared time axis. A single stream labeled
+// "memsim" reproduces the classic single-system layout exactly.
+func ChromeEventsMulti(systems []SystemEvents) []ChromeEvent {
+	var out []ChromeEvent
+	for i, sys := range systems {
+		pid := chromePid + i
+		tids := map[int]bool{}
+		for _, e := range sys.Events {
+			tids[tidFor(e)] = true
+		}
+		order := make([]int, 0, len(tids))
+		for tid := range tids {
+			order = append(order, tid)
+		}
+		sort.Ints(order)
+
 		out = append(out, ChromeEvent{
-			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
-			Args: map[string]string{"name": tidName(tid)},
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": sys.Label},
 		})
-	}
-	for _, e := range events {
-		ce := ChromeEvent{
-			Name: e.Kind.String(),
-			Cat:  "memsim",
-			Ts:   micros(e.At),
-			Pid:  chromePid,
-			Tid:  tidFor(e),
-			Args: eventArgs(e),
+		for _, tid := range order {
+			out = append(out, ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]string{"name": tidName(tid)},
+			})
 		}
-		if e.Kind.isSpan() {
-			ce.Ph = "X"
-			ce.Dur = micros(e.Dur)
-		} else {
-			ce.Ph = "i"
-			ce.S = "t"
+		for _, e := range sys.Events {
+			ce := ChromeEvent{
+				Name: e.Kind.String(),
+				Cat:  "memsim",
+				Ts:   micros(e.At),
+				Pid:  pid,
+				Tid:  tidFor(e),
+				Args: eventArgs(e),
+			}
+			if e.Kind.isSpan() {
+				ce.Ph = "X"
+				ce.Dur = micros(e.Dur)
+			} else {
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			out = append(out, ce)
 		}
-		out = append(out, ce)
 	}
 	return out
 }
@@ -182,6 +201,14 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(ChromeTrace{DisplayTimeUnit: "ns", TraceEvents: ChromeEvents(events)})
+}
+
+// WriteChromeTraceMulti writes several systems' streams as one
+// loadable trace file (see ChromeEventsMulti for the layout).
+func WriteChromeTraceMulti(w io.Writer, systems []SystemEvents) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ChromeTrace{DisplayTimeUnit: "ns", TraceEvents: ChromeEventsMulti(systems)})
 }
 
 // ParseChromeTrace reads a trace file written by WriteChromeTrace (or

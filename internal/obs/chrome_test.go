@@ -81,6 +81,41 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestChromeTraceMulti checks the multi-system layout: one pid per
+// stream, process_name metadata carrying the label, and events
+// attributed to their own system's pid.
+func TestChromeTraceMulti(t *testing.T) {
+	systems := []SystemEvents{
+		{Label: "sys0-mcf", Events: sampleEvents()},
+		{Label: "sys1-swim", Events: sampleEvents()[:2]},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMulti(&buf, systems); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := map[int]string{}
+	perPid := map[int]int{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "process_name" {
+				procs[e.Pid] = e.Args["name"]
+			}
+			continue
+		}
+		perPid[e.Pid]++
+	}
+	if procs[1] != "sys0-mcf" || procs[2] != "sys1-swim" {
+		t.Fatalf("process names = %v", procs)
+	}
+	if perPid[1] != len(sampleEvents()) || perPid[2] != 2 {
+		t.Fatalf("events per pid = %v", perPid)
+	}
+}
+
 // TestChromeTraceArgs pins the arg vocabulary cmd/obsdump parses.
 func TestChromeTraceArgs(t *testing.T) {
 	evs := ChromeEvents(sampleEvents())

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"memsim/internal/core"
+	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
 
@@ -215,4 +216,11 @@ type Job struct {
 	// instead of re-simulating — nonzero exactly when a resume skipped
 	// finished work.
 	SpecsReused uint64 `json:"specs_reused,omitempty"`
+	// InstructionsRetired and SimTime report simulation progress: while
+	// the job runs, GET /jobs/{id} overlays the live counters (retired
+	// instructions including warmup across all specs, and the current
+	// run's simulated clock); once done they hold the measured totals
+	// summed over the suite.
+	InstructionsRetired uint64   `json:"instructions_retired,omitempty"`
+	SimTime             sim.Time `json:"sim_time_ps,omitempty"`
 }

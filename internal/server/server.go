@@ -43,6 +43,7 @@ import (
 	"memsim/internal/core"
 	"memsim/internal/experiments"
 	"memsim/internal/obs"
+	"memsim/internal/sim"
 	"memsim/internal/vfs"
 )
 
@@ -178,6 +179,9 @@ type Service struct {
 
 	cancelsMu sync.Mutex
 	cancels   map[string]context.CancelCauseFunc
+
+	progressMu sync.Mutex
+	progress   map[string]*jobProgress
 
 	handler http.Handler
 	runHook func(ctx context.Context, job Job) ([]core.Result, uint64, error)
@@ -336,6 +340,8 @@ func (s *Service) execute(ctx context.Context, job Job) (results []core.Result, 
 		s.log.Printf("job %s: checkpoint manifest was corrupt; quarantined as %s, re-running its specs", job.ID, q)
 	}
 
+	prog := s.trackProgress(job.ID)
+	defer s.untrackProgress(job.ID)
 	opt := experiments.Options{
 		Instrs:      s.cfg.DefaultInstrs,
 		Warmup:      s.cfg.DefaultWarmup,
@@ -344,6 +350,10 @@ func (s *Service) execute(ctx context.Context, job Job) (results []core.Result, 
 		Seed:        job.Spec.Seed,
 		Context:     ctx,
 		Checkpoint:  manifest,
+		Progress: func(retiredDelta uint64, now sim.Time) {
+			prog.retired.Add(retiredDelta)
+			prog.simTime.Store(int64(now))
+		},
 	}
 	if job.Spec.Instrs > 0 {
 		opt.Instrs = job.Spec.Instrs
@@ -379,6 +389,11 @@ func (s *Service) finishJob(id string, results []core.Result, reused uint64, err
 			j.Results = results
 			j.SpecsReused = reused
 			j.Error = ""
+			j.InstructionsRetired, j.SimTime = 0, 0
+			for _, r := range results {
+				j.InstructionsRetired += r.Instrs
+				j.SimTime += r.Elapsed
+			}
 		})
 		if uerr != nil {
 			s.log.Printf("job %s: %v", id, uerr)
@@ -467,6 +482,41 @@ func (s *Service) Kill() {
 
 // Draining reports whether a drain has begun.
 func (s *Service) Draining() bool { return s.draining.Load() }
+
+// --- job progress registry ---
+
+// jobProgress holds a running job's live counters, written from the
+// simulation goroutine (via experiments.Options.Progress) and read by
+// GET /jobs/{id} without touching the store.
+type jobProgress struct {
+	retired atomic.Uint64 // instructions retired, warmup included, all specs
+	simTime atomic.Int64  // the current run's simulated clock, in sim.Time units
+}
+
+// trackProgress registers a live counter set for a starting job.
+func (s *Service) trackProgress(id string) *jobProgress {
+	p := &jobProgress{}
+	s.progressMu.Lock()
+	if s.progress == nil {
+		s.progress = make(map[string]*jobProgress)
+	}
+	s.progress[id] = p
+	s.progressMu.Unlock()
+	return p
+}
+
+func (s *Service) untrackProgress(id string) {
+	s.progressMu.Lock()
+	delete(s.progress, id)
+	s.progressMu.Unlock()
+}
+
+// progressFor returns the live counters of a running job, nil if none.
+func (s *Service) progressFor(id string) *jobProgress {
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	return s.progress[id]
+}
 
 // --- job cancellation registry ---
 
@@ -672,6 +722,12 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		s.writeError(w, http.StatusNotFound, &apiError{Code: codeNotFound, Message: "no such job"})
 		return
+	}
+	if job.State == StateRunning {
+		if p := s.progressFor(job.ID); p != nil {
+			job.InstructionsRetired = p.retired.Load()
+			job.SimTime = sim.Time(p.simTime.Load())
+		}
 	}
 	s.writeJSON(w, http.StatusOK, job)
 }

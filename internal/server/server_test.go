@@ -151,6 +151,46 @@ func TestSubmitAndComplete(t *testing.T) {
 	}
 }
 
+// TestJobProgress polls GET /jobs/{id} while a real simulation runs:
+// a running job exposes live instructions_retired/sim_time_ps, and the
+// finished record holds the measured totals.
+func TestJobProgress(t *testing.T) {
+	svc := newService(t, Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	_, job := submit(t, ts, `{"benchmarks":["mcf"],"instrs":400000,"warmup":100000}`)
+	sawLive := false
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(ts.URL + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j Job
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if j.State == StateRunning && j.InstructionsRetired > 0 && j.SimTime > 0 {
+			sawLive = true
+		}
+		if j.State == StateDone {
+			if j.InstructionsRetired == 0 || j.SimTime == 0 {
+				t.Fatalf("done job missing totals: retired=%d sim_time=%v", j.InstructionsRetired, j.SimTime)
+			}
+			if !sawLive {
+				// A fast machine can finish between polls; the totals
+				// above still prove the fields flow end to end.
+				t.Logf("job finished before a live poll observed progress")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+}
+
 // TestCrashResumeBitIdentical is the headline fault drill: a daemon
 // killed mid-job (no store writes, exactly like SIGKILL) and restarted
 // over the same state directory must finish the job with results

@@ -359,6 +359,26 @@ func (s *Scheduler) RunUntil(t Time) {
 	}
 }
 
+// NextAt reports the timestamp of the earliest pending event, ok=false
+// when the queue is empty. Canceled events at the head are discarded
+// on the way, so the reported time is a live event's. Epoch drivers
+// (internal/cluster) use it to skip event-free epochs wholesale.
+func (s *Scheduler) NextAt() (Time, bool) {
+	for s.q != nil {
+		e := s.q.peek()
+		if e == nil {
+			break
+		}
+		if e.canceled {
+			s.q.pop()
+			s.release(e)
+			continue
+		}
+		return e.when, true
+	}
+	return 0, false
+}
+
 // RunWhile executes events while cond returns true and events remain.
 // cond is evaluated before each event.
 func (s *Scheduler) RunWhile(cond func() bool) {

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multi-programmed mixes: named benchmark combinations for cluster
+// runs, chosen to pair distinct memory behaviors — latency-bound
+// pointer chasing (mcf, twolf), bandwidth-bound streaming (swim, art),
+// and prefetch-friendly strided access (facerec, gzip) — so channel
+// contention between unlike programs is visible by construction.
+var mixes = map[string][]string{
+	"mix2-stream": {"swim", "art"},
+	"mix2-mixed":  {"mcf", "swim"},
+	"mix4-paper":  {"mcf", "swim", "facerec", "twolf"},
+	"mix4-stream": {"swim", "art", "applu", "mgrid"},
+	"mix8-all":    {"mcf", "swim", "facerec", "twolf", "gzip", "art", "applu", "mgrid"},
+}
+
+// MixNames returns the named mixes in sorted order.
+func MixNames() []string {
+	names := make([]string, 0, len(mixes))
+	for name := range mixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseMix resolves a mix specification to a benchmark list: either a
+// named mix ("mix4-paper") or an explicit '+'-joined combination
+// ("mcf+swim+swim" — repeats are allowed; co-running copies of one
+// profile is a standard homogeneous-interference setup). Every member
+// must be a known benchmark.
+func ParseMix(spec string) ([]string, error) {
+	if benches, ok := mixes[spec]; ok {
+		return append([]string(nil), benches...), nil
+	}
+	if spec == "" {
+		return nil, fmt.Errorf("workload: empty mix")
+	}
+	benches := strings.Split(spec, "+")
+	for _, b := range benches {
+		if _, err := ByName(b); err != nil {
+			return nil, fmt.Errorf("workload: mix %q: %w (named mixes: %s)", spec, err, strings.Join(MixNames(), ", "))
+		}
+	}
+	return benches, nil
+}

@@ -53,9 +53,15 @@ sim_benchtime='200000x'
 # microsecond-scale on a fixed in-memory package; a few thousand
 # iterations give a stable sample.
 lint_benchtime='2000x'
+# The cluster microbenchmarks (epoch-barrier overhead, shard scaling
+# at 1/2/4/8 systems on both engines) each simulate a full
+# multi-system run, so like the experiment benchmarks one iteration is
+# a stable sample.
+cluster_benchtime='1x'
 raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count 1 .
       go test -run '^$' -bench "$pattern" -benchtime "$sim_benchtime" -count 1 ./internal/sim
-      go test -run '^$' -bench "$pattern" -benchtime "$lint_benchtime" -count 1 ./internal/lint/dataflow)
+      go test -run '^$' -bench "$pattern" -benchtime "$lint_benchtime" -count 1 ./internal/lint/dataflow
+      go test -run '^$' -bench "$pattern" -benchtime "$cluster_benchtime" -count 1 ./internal/cluster)
 
 printf '%s\n' "$raw" | awk -v goversion="$goversion" -v rev="$rev" -v stamp="$stamp" '
 BEGIN {
