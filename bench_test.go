@@ -62,9 +62,42 @@ func BenchmarkQueueDepth(b *testing.B)         { runExperiment(b, "queuedepth") 
 func BenchmarkThrottle(b *testing.B)           { runExperiment(b, "throttle") }
 func BenchmarkSchemes(b *testing.B)            { runExperiment(b, "schemes") }
 func BenchmarkReorder(b *testing.B)            { runExperiment(b, "reorder") }
+func BenchmarkSchedZoo(b *testing.B)           { runExperiment(b, "schedzoo") }
+func BenchmarkTimingZoo(b *testing.B)          { runExperiment(b, "timingzoo") }
 func BenchmarkRefresh(b *testing.B)            { runExperiment(b, "refresh") }
 func BenchmarkInterleave(b *testing.B)         { runExperiment(b, "interleave") }
 func BenchmarkPollution(b *testing.B)          { runExperiment(b, "pollution") }
+
+// BenchmarkPolicy measures per-scheme simulator throughput: one
+// sub-benchmark per zoo member, so the bench gate catches a policy
+// implementation going quadratic independently of the experiment
+// tables it feeds.
+func BenchmarkPolicy(b *testing.B) {
+	run := func(mutate func(*Config)) func(*testing.B) {
+		return func(b *testing.B) {
+			// Long enough per op that the 10% regression gate measures
+			// the simulator, not scheduler jitter.
+			cfg := TunedConfig()
+			cfg.MaxInstrs = 500_000
+			cfg.WarmupInstrs = 0
+			mutate(&cfg)
+			for i := 0; i < b.N; i++ {
+				gen, err := Workload("swim", 0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Run(cfg, gen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sched=fcfs", run(func(c *Config) { c.SchedPolicy = "fcfs" }))
+	b.Run("sched=frfcfs", run(func(c *Config) { c.SchedPolicy = "frfcfs" }))
+	b.Run("sched=frfcfs-cap", run(func(c *Config) { c.SchedPolicy = "frfcfs-cap"; c.ReorderWindow = 8 }))
+	b.Run("timing=tiered", run(func(c *Config) { c.BankTiming = "tiered" }))
+	b.Run("timing=rowreuse", run(func(c *Config) { c.BankTiming = "rowreuse" }))
+}
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (instructions per wall-clock second) on the tuned system.

@@ -37,6 +37,7 @@ func main() {
 		mapping   = flag.String("mapping", "", "address mapping: base, swap, or xor")
 		part      = flag.String("part", "", "DRDRAM part: 800-40, 800-50, or 800-34")
 		closed    = flag.Bool("closed-page", false, "close the row after every access")
+		banktime  = flag.String("banktiming", "", "shared-channel bank timing: flat, tiered, or rowreuse (default flat)")
 		link      = flag.Duration("link", 0, "system-to-fabric link latency (= epoch width; 0 = 10ns)")
 		instrs    = flag.Uint64("instrs", 100_000, "measured instructions per system")
 		warmup    = flag.Uint64("warmup", 20_000, "warmup instructions per system")
@@ -66,6 +67,7 @@ func main() {
 		Mapping:           *mapping,
 		Part:              *part,
 		ClosedPage:        *closed,
+		BankTiming:        *banktime,
 		LinkLatency:       sim.Time(link.Nanoseconds()) * sim.Nanosecond,
 		MaxInstrs:         *instrs,
 		WarmupInstrs:      *warmup,

@@ -37,6 +37,9 @@ func main() {
 		scheme   = flag.String("scheme", "region", "prefetch scheme: region, sequential, or stream")
 		region   = flag.Int("region", 4096, "prefetch region bytes")
 		reorder  = flag.Int("reorder", 0, "open-row-first reorder window (0 = in-order)")
+		sched    = flag.String("sched", "", "issue policy: fcfs, frfcfs, or frfcfs-cap (default: derived from -reorder)")
+		banktime = flag.String("banktiming", "", "bank timing scheme: flat, tiered, or rowreuse (default flat)")
+		counter  = flag.Bool("counterfactual", false, "trace what each alternative policy would have decided (requires -trace-out)")
 		refresh  = flag.Bool("refresh", false, "model DRAM refresh")
 		interlv  = flag.String("interleaving", "ganged", "channel organization: ganged or independent")
 		insert   = flag.String("insert", "LRU", "prefetch insertion priority: MRU, SMRU, SLRU, LRU")
@@ -100,6 +103,12 @@ func main() {
 	cfg.Timing = timing
 
 	cfg.ReorderWindow = *reorder
+	cfg.SchedPolicy = *sched
+	cfg.BankTiming = *banktime
+	cfg.Counterfactual = *counter
+	if *counter && *traceOut == "" {
+		fatal(fmt.Errorf("-counterfactual requires -trace-out: the decision trace is its only output"))
+	}
 	cfg.Refresh = *refresh
 	cfg.Interleaving = *interlv
 	if *pf {

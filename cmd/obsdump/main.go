@@ -1,12 +1,14 @@
 // Command obsdump summarizes a Chrome trace-event JSON file written by
 // memsim -trace-out: per-channel utilization, the demand/prefetch
 // interleave on each channel, row-buffer hit rates by access class,
-// the banks suffering the most row conflicts, and why prefetch
-// candidates were dropped.
+// the banks suffering the most row conflicts, why prefetch candidates
+// were dropped, and — for counterfactually-armed runs — the per-policy
+// divergence table: how often each alternative scheduling or prefetch
+// policy would have decided differently from the primary.
 //
 // Example:
 //
-//	memsim -bench swim -prefetch -trace-out run.trace.json
+//	memsim -bench swim -prefetch -counterfactual -trace-out run.trace.json
 //	obsdump -top 8 run.trace.json
 package main
 
@@ -60,6 +62,18 @@ type track struct {
 	lastClass   string
 }
 
+// cfPoint aggregates one decision point's counterfactual trace: how
+// many decisions the primary policy made, and each alternative's
+// agreement tally.
+type cfPoint struct {
+	primary   string
+	decisions int
+	alts      map[string]*cfAlt // alternative policy name -> tallies
+}
+
+// cfAlt is one alternative policy's divergence tally.
+type cfAlt struct{ total, diverged int }
+
 // summary is everything obsdump reports.
 type summary struct {
 	events     int
@@ -69,9 +83,10 @@ type summary struct {
 	names      map[trackKey]string // (pid, tid) -> thread_name metadata
 	procs      map[int]string      // pid -> process_name (system label)
 	byKind     map[string]int
-	conflicts  map[uint64]int // bank -> conflict precharges
-	precharges map[string]int // reason -> count
-	drops      map[string]int // reason -> count
+	conflicts  map[uint64]int      // bank -> conflict precharges
+	precharges map[string]int      // reason -> count
+	drops      map[string]int      // reason -> count
+	counterf   map[string]*cfPoint // decision point ("sched", "prefetch") -> tallies
 }
 
 func summarize(tr *obs.ChromeTrace) *summary {
@@ -83,6 +98,7 @@ func summarize(tr *obs.ChromeTrace) *summary {
 		conflicts:  map[uint64]int{},
 		precharges: map[string]int{},
 		drops:      map[string]int{},
+		counterf:   map[string]*cfPoint{},
 		spanStart:  -1,
 	}
 	for _, e := range tr.TraceEvents {
@@ -131,9 +147,45 @@ func summarize(tr *obs.ChromeTrace) *summary {
 			}
 		case obs.EvPrefetchDrop:
 			s.drops[e.Args["reason"]]++
+		case obs.EvSchedDecision:
+			s.cfPoint("sched", e.Args["policy"]).decisions++
+		case obs.EvPrefetchDecision:
+			s.cfPoint("prefetch", e.Args["policy"]).decisions++
+		case obs.EvSchedAlt:
+			s.cfAlt("sched", e.Args["policy"], e.Args["agree"])
+		case obs.EvPrefetchAlt:
+			s.cfAlt("prefetch", e.Args["policy"], e.Args["agree"])
 		}
 	}
 	return s
+}
+
+// cfPoint returns the tally bucket for one decision point, recording
+// the primary policy's name from the decision event's args.
+func (s *summary) cfPoint(point, primary string) *cfPoint {
+	p, ok := s.counterf[point]
+	if !ok {
+		p = &cfPoint{alts: map[string]*cfAlt{}}
+		s.counterf[point] = p
+	}
+	if primary != "" {
+		p.primary = primary
+	}
+	return p
+}
+
+// cfAlt tallies one alternative's traced pick against the primary's.
+func (s *summary) cfAlt(point, name, agree string) {
+	p := s.cfPoint(point, "")
+	a, ok := p.alts[name]
+	if !ok {
+		a = &cfAlt{}
+		p.alts[name] = a
+	}
+	a.total++
+	if agree == "0" {
+		a.diverged++
+	}
 }
 
 func (s *summary) track(k trackKey) *track {
@@ -252,6 +304,33 @@ func (s *summary) print(w *os.File, path string, top int) {
 
 	printCounts(w, "precharges", s.precharges)
 	printCounts(w, "drops", s.drops)
+
+	// Counterfactual divergence table: per decision point, how often
+	// each armed alternative policy would have chosen differently from
+	// the primary.
+	points := make([]string, 0, len(s.counterf))
+	for point := range s.counterf {
+		points = append(points, point)
+	}
+	sort.Strings(points)
+	for _, point := range points {
+		p := s.counterf[point]
+		fmt.Fprintf(w, "counterfactual %s: %d decisions under %s\n", point, p.decisions, p.primary)
+		names := make([]string, 0, len(p.alts))
+		for name := range p.alts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := p.alts[name]
+			pct := 0.0
+			if a.total > 0 {
+				pct = 100 * float64(a.diverged) / float64(a.total)
+			}
+			fmt.Fprintf(w, "  vs %-12s diverged %d/%d (%.1f%%)\n", name, a.diverged, a.total, pct)
+		}
+	}
+
 	printCounts(w, "events", s.byKind)
 }
 

@@ -60,6 +60,10 @@ func (c Class) String() string {
 type Config struct {
 	Geometry addrmap.Geometry
 	Timing   dram.Timing
+	// TimingPol, when non-nil, resolves per-activate latency (the
+	// tiered-latency and row-reuse schemes of the policy zoo). Nil
+	// charges Timing.ACT for every activate — the flat scheme.
+	TimingPol dram.TimingPolicy
 	// ClosedPage selects the closed-page policy: the row buffer is
 	// released after each access, so the next access to the same row
 	// pays ACT but never PRER. The default (false) is the open-row
@@ -438,7 +442,11 @@ func (ch *Channel) Access(now sim.Time, spans []addrmap.Span, class Class, write
 			res.Start = min(res.Start, t)
 			dev.Activate(c.Bank, c.Row)
 			ch.tr.InstantAt(obs.EvBankActivate, ch.group, t, globalBank(c.Device, c.Bank), uint64(c.Row))
-			(*ready)[c.Bank] = t + tm.ACT
+			act := tm.ACT
+			if ch.cfg.TimingPol != nil {
+				act = ch.cfg.TimingPol.ActivateLatency(c.Device, c.Bank, c.Row, tm.ACT)
+			}
+			(*ready)[c.Bank] = t + act
 		}
 
 		rowAvail := max(now, (*ready)[c.Bank])

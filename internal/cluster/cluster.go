@@ -17,10 +17,12 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"memsim/internal/core"
 	"memsim/internal/dram"
 	"memsim/internal/obs"
+	"memsim/internal/policy"
 	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
@@ -84,6 +86,10 @@ type Config struct {
 	Timing dram.Timing `json:"-"`
 	// ClosedPage selects the row-buffer policy of the shared channels.
 	ClosedPage bool `json:"closed_page,omitempty"`
+	// BankTiming names the bank-timing scheme of the shared channels
+	// ("flat", "tiered", "rowreuse"); empty means flat. Each physical
+	// channel gets its own policy instance (rowreuse keeps state).
+	BankTiming string `json:"bank_timing,omitempty"`
 
 	// LinkLatency is the system-to-fabric hop, and therefore the epoch
 	// width Δ: a message sent at t delivers at t+Δ, which always lands
@@ -167,6 +173,10 @@ func (c Config) Validate() error {
 	}
 	if _, err := sim.ParseEngine(c.Engine); err != nil {
 		return fmt.Errorf("cluster: %w", err)
+	}
+	if c.BankTiming != "" && !policy.Timings.Known(c.BankTiming) {
+		return fmt.Errorf("cluster: unknown bank timing %q (have %s)",
+			c.BankTiming, strings.Join(policy.Timings.Names(), ", "))
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"memsim/internal/core"
 	"memsim/internal/memctrl"
 	"memsim/internal/obs"
+	"memsim/internal/policy"
 	"memsim/internal/sim"
 )
 
@@ -219,7 +220,14 @@ func newMemoryShard(idx int, cfg Config, nsys int) (*memoryShard, error) {
 		if err != nil {
 			return nil, err
 		}
-		chn, err := channel.New(chCfg)
+		// Each channel gets a fresh timing-policy instance: rowreuse
+		// tracks per-bank state that must not be shared across channels.
+		ccfg := chCfg
+		ccfg.TimingPol, err = policy.NewTiming(cfg.BankTiming, policy.TimingParams{})
+		if err != nil {
+			return nil, err
+		}
+		chn, err := channel.New(ccfg)
 		if err != nil {
 			return nil, err
 		}

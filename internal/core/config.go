@@ -5,11 +5,14 @@
 package core
 
 import (
+	"strings"
+
 	"memsim/internal/cache"
 	"memsim/internal/dram"
 	"memsim/internal/harden"
 	"memsim/internal/harden/inject"
 	"memsim/internal/obs"
+	"memsim/internal/policy"
 	"memsim/internal/prefetch"
 	"memsim/internal/sim"
 )
@@ -127,6 +130,20 @@ type Config struct {
 	// open ahead of up to ReorderWindow-1 older entries. Zero keeps
 	// the paper's strict in-order issue.
 	ReorderWindow int
+	// SchedPolicy names the controller issue policy from the policy
+	// registry ("fcfs", "frfcfs", "frfcfs-cap"). Empty keeps the legacy
+	// encoding: ReorderWindow > 1 means "frfcfs-cap", else "fcfs".
+	// "frfcfs-cap" requires ReorderWindow >= 2 as its scan bound.
+	SchedPolicy string
+	// BankTiming names the per-activate bank-timing scheme from the
+	// policy registry ("flat", "tiered", "rowreuse"). Empty and "flat"
+	// charge the part's uniform activate latency.
+	BankTiming string
+	// Counterfactual arms decision tracing: the controllers and the
+	// prefetch engine record, at every decision point, what each
+	// registered alternative policy would have done, as trace events
+	// obsdump aggregates into a divergence table. Requires Obs.Trace.
+	Counterfactual bool
 	// Refresh enables DRAM refresh modeling: periodically the channel
 	// is consumed by a refresh operation (disabled by default; the
 	// paper does not model refresh).
@@ -212,6 +229,20 @@ func TunedPrefetch() PrefetchConfig {
 	}
 }
 
+// resolvedSched resolves the effective scheduling scheme name and scan
+// window: SchedPolicy wins when set; otherwise the legacy
+// ReorderWindow encoding maps onto the zoo ("frfcfs-cap" when > 1,
+// "fcfs" otherwise), keeping every pre-zoo config byte-identical.
+func (c Config) resolvedSched() (name string, window int) {
+	if c.SchedPolicy != "" {
+		return c.SchedPolicy, c.ReorderWindow
+	}
+	if c.ReorderWindow > 1 {
+		return "frfcfs-cap", c.ReorderWindow
+	}
+	return "fcfs", 0
+}
+
 // Bounds enforced by Validate beyond structural realizability. They
 // exist so that a validated Config is safe to build: allocation sizes
 // stay sane and every downstream constructor precondition holds, which
@@ -258,10 +289,8 @@ func (c Config) Validate() error {
 	v.Range("Channels", int64(c.Channels), 1, 64)
 	v.Pow2("DevicesPerChannel", c.DevicesPerChannel)
 	v.Range("DevicesPerChannel", int64(c.DevicesPerChannel), 1, 64)
-	switch c.Mapping {
-	case "base", "swap", "xor":
-	default:
-		v.Reject("Mapping", c.Mapping, `must be one of "base", "swap", "xor"`)
+	if !policy.Mappings.Known(c.Mapping) {
+		v.Reject("Mapping", c.Mapping, "must be one of %s", strings.Join(policy.Mappings.Names(), ", "))
 	}
 	v.Check(c.Timing.Packet > 0, "Timing", c.Timing.Name, "part has no packet time")
 	v.Check(c.Timing.PRER >= 0 && c.Timing.ACT >= 0 && c.Timing.CAC >= 0,
@@ -272,6 +301,18 @@ func (c Config) Validate() error {
 		v.Reject("Interleaving", c.Interleaving, `must be one of "", "ganged", "independent"`)
 	}
 	v.Range("ReorderWindow", int64(c.ReorderWindow), 0, 1024)
+	if c.SchedPolicy != "" {
+		if !policy.Sched.Known(c.SchedPolicy) {
+			v.Reject("SchedPolicy", c.SchedPolicy, "must be empty or one of %s", strings.Join(policy.Sched.Names(), ", "))
+		} else if c.SchedPolicy == "frfcfs-cap" && c.ReorderWindow < 2 {
+			v.Reject("SchedPolicy", c.SchedPolicy, "needs ReorderWindow >= 2 as its scan bound, got %d", c.ReorderWindow)
+		}
+	}
+	if c.BankTiming != "" && !policy.Timings.Known(c.BankTiming) {
+		v.Reject("BankTiming", c.BankTiming, "must be empty or one of %s", strings.Join(policy.Timings.Names(), ", "))
+	}
+	v.Check(!c.Counterfactual || c.Obs.Trace, "Counterfactual", c.Counterfactual,
+		"requires Obs.Trace: decision tracing writes through the event tracer")
 
 	v.Check(!(c.PerfectL2 && c.PerfectMem), "PerfectL2", c.PerfectL2,
 		"PerfectL2 and PerfectMem are mutually exclusive")
@@ -294,7 +335,7 @@ func (c Config) Validate() error {
 			v.Range("Prefetch.Lookahead", int64(p.Lookahead), 1, 1024)
 			v.Range("Prefetch.TableSize", int64(p.TableSize), 0, maxQueueDepth)
 		default:
-			v.Reject("Prefetch.Scheme", p.Scheme, `must be one of "", "region", "sequential", "stream"`)
+			v.Reject("Prefetch.Scheme", p.Scheme, `must be "" or one of %s`, strings.Join(policy.Prefetchers.Names(), ", "))
 		}
 		v.Range("Prefetch.Insert", int64(p.Insert), int64(cache.MRU), int64(cache.LRU))
 		v.Range("Prefetch.BufferBlocks", int64(p.BufferBlocks), 0, maxQueueDepth)

@@ -37,10 +37,12 @@ type goldenEntry struct {
 	Metrics map[string]float64
 }
 
-// goldenConfigs are the six frozen configurations. They cover the
+// goldenConfigs are the frozen configurations. The first six cover the
 // paper's main axes (base vs tuned prefetch, mapping, channel count,
 // row policy) plus the extensions with the most distinctive event
-// traffic (independent channels with reordering, stream prefetch).
+// traffic (independent channels with reordering, stream prefetch); the
+// rest pin one fixture per policy-zoo scheme: each FR-FCFS variant,
+// the tiered-latency bank, and the row-reuse fast path.
 func goldenConfigs() []struct {
 	Name string
 	Cfg  Config
@@ -59,6 +61,27 @@ func goldenConfigs() []struct {
 	stream := Base()
 	stream.Prefetch = PrefetchConfig{Enabled: true, Scheme: "stream", Lookahead: 4, TableSize: 8}
 
+	// The FR-FCFS fixtures run one channel with unscheduled prefetch so
+	// the single controller queue actually backs up and contested
+	// decisions exercise the open-row scan.
+	frfcfs := Base()
+	frfcfs.Channels = 1
+	frfcfs.Prefetch = TunedPrefetch()
+	frfcfs.Prefetch.Scheduled = false
+	frfcfs.SchedPolicy = "frfcfs"
+
+	frfcfsCap := frfcfs
+	frfcfsCap.SchedPolicy = "frfcfs-cap"
+	frfcfsCap.ReorderWindow = 4
+
+	tiered := Base()
+	tiered.Mapping = "xor"
+	tiered.BankTiming = "tiered"
+
+	reuse := Base()
+	reuse.Mapping = "xor"
+	reuse.BankTiming = "rowreuse"
+
 	return []struct {
 		Name string
 		Cfg  Config
@@ -69,6 +92,10 @@ func goldenConfigs() []struct {
 		{"closed-page-xor", closed},
 		{"independent-reorder", indep},
 		{"stream-prefetch", stream},
+		{"frfcfs", frfcfs},
+		{"frfcfs-cap", frfcfsCap},
+		{"tiered-latency", tiered},
+		{"row-reuse", reuse},
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"sort"
 
 	"memsim/internal/obs"
+	"memsim/internal/policy"
+	"memsim/internal/prefetch"
 )
 
 // watchdogTraceEvents is how many of the most recent trace events the
@@ -31,10 +33,38 @@ func (s *System) armObs() {
 	if eo, ok := s.pf.(interface{ Observe(*obs.Observer) }); ok {
 		eo.Observe(s.obs)
 	}
+	if s.cfg.Counterfactual && s.tr != nil {
+		s.armCounterfactual()
+	}
 
 	reg := s.obs.Registry
 	if reg == nil {
 		return
+	}
+	// Bank-timing metrics exist only when a non-flat scheme is armed,
+	// so flat-scheme metric dumps (and the golden fixtures built from
+	// them) are untouched by the zoo.
+	if len(s.timingPols) > 0 {
+		reg.CounterFunc("memsim_dram_fast_activates_total",
+			"Activates that took the timing scheme's fast path (near segment or reuse hit).",
+			func() float64 {
+				var n uint64
+				for _, tp := range s.timingPols {
+					fast, _ := tp.Counters()
+					n += fast
+				}
+				return float64(n)
+			})
+		reg.CounterFunc("memsim_dram_slow_activates_total",
+			"Activates that paid the full flat latency under a non-flat timing scheme.",
+			func() float64 {
+				var n uint64
+				for _, tp := range s.timingPols {
+					_, slow := tp.Counters()
+					n += slow
+				}
+				return float64(n)
+			})
 	}
 	s.l1.RegisterMetrics(reg, obs.Label{Key: "level", Value: "L1"})
 	s.l2.RegisterMetrics(reg, obs.Label{Key: "level", Value: "L2"})
@@ -66,6 +96,60 @@ func (s *System) armObs() {
 	reg.GaugeFunc("memsim_sim_now_ps",
 		"Current simulated time in picoseconds.",
 		func() float64 { return float64(s.sched.Now()) })
+}
+
+// armCounterfactual arms decision tracing: each controller evaluates
+// every registered alternative scheduling policy at its contested
+// decision points, and the prefetch engine (when on) is wrapped so
+// every shadow scheme's would-be pick is traced alongside the
+// primary's. Alternatives and shadows see recorded inputs only — they
+// never touch the simulation, so an armed run's architectural
+// behaviour is identical to an unarmed one.
+func (s *System) armCounterfactual() {
+	schedName, window := s.cfg.resolvedSched()
+	alts := policy.SchedAlternatives(schedName, window)
+	for g := range s.ctrls {
+		s.ctrls[g].EnableCounterfactual(alts)
+	}
+	if s.pf == nil {
+		return
+	}
+	scheme := s.cfg.Prefetch.Scheme
+	if scheme == "" {
+		scheme = "region"
+	}
+	cf := prefetch.NewCounterfactual(s.pf, s.tr, scheme)
+	for _, name := range policy.Prefetchers.Names() {
+		if name == scheme {
+			continue
+		}
+		shadow, err := policy.NewPrefetcher(name, shadowPrefetchParams(s.cfg))
+		if err != nil {
+			continue
+		}
+		cf.AddShadow(name, shadow)
+	}
+	// Reassignment is safe here: armObs runs inside newSystem before
+	// the first event, and the L2's PrefetchUsedHook closure reads s.pf
+	// at call time.
+	s.pf = cf
+}
+
+// shadowPrefetchParams fills scheme knobs the primary config may have
+// left zero (a region-primary run sets no Lookahead) with the tuned
+// defaults, so every shadow scheme is constructible.
+func shadowPrefetchParams(cfg Config) policy.PrefetchParams {
+	p := prefetchParams(cfg)
+	if p.Lookahead <= 0 {
+		p.Lookahead = 4
+	}
+	if p.RegionBytes <= 0 {
+		p.RegionBytes = 4096
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 8
+	}
+	return p
 }
 
 // Obs exposes the run's observer for export: metrics after Run, the

@@ -8,9 +8,11 @@ import (
 	"memsim/internal/cache"
 	"memsim/internal/channel"
 	"memsim/internal/cpu"
+	"memsim/internal/dram"
 	"memsim/internal/harden/inject"
 	"memsim/internal/memctrl"
 	"memsim/internal/obs"
+	"memsim/internal/policy"
 	"memsim/internal/prefetch"
 	"memsim/internal/sim"
 	"memsim/internal/trace"
@@ -37,7 +39,11 @@ type System struct {
 	ctrls []*memctrl.Controller
 	chns  []*channel.Channel
 	maprs []addrmap.Mapper
-	pf    prefetch.Prefetcher // nil when disabled
+	// timingPols holds each group's bank-timing policy instance (one
+	// per channel, empty under the flat scheme); armObs sums their
+	// fast/slow counters into the gated activate metrics.
+	timingPols []dram.TimingPolicy
+	pf         prefetch.Prefetcher // nil when disabled
 	// pfbuffer receives prefetch fills when the separate-buffer
 	// alternative is configured; nil otherwise.
 	pfbuffer *cache.Cache
@@ -192,45 +198,44 @@ func newSystem(cfg Config, gen trace.Generator, mem ExternalMemory) (*System, er
 		chCfg.RefreshInterval = 2 * sim.Microsecond
 		chCfg.RefreshDuration = 70 * sim.Nanosecond
 	}
+	schedName, schedWindow := cfg.resolvedSched()
 	for g := 0; g < groups; g++ {
-		mapr, err := addrmap.ByName(cfg.Mapping, groupGeom)
+		mapr, err := policy.NewMapping(cfg.Mapping, groupGeom)
 		if err != nil {
 			return nil, err
 		}
-		chn, err := channel.New(chCfg)
+		// Each group gets its own timing-policy instance: schemes with
+		// internal state (the row-reuse table) must not share across
+		// channels.
+		gcfg := chCfg
+		gcfg.TimingPol, err = policy.NewTiming(cfg.BankTiming, policy.TimingParams{})
+		if err != nil {
+			return nil, err
+		}
+		if gcfg.TimingPol != nil {
+			s.timingPols = append(s.timingPols, gcfg.TimingPol)
+		}
+		chn, err := channel.New(gcfg)
 		if err != nil {
 			return nil, err
 		}
 		ctrl := memctrl.New(s.sched, chn, mapr)
-		if cfg.ReorderWindow > 0 {
-			ctrl.SetReorderWindow(cfg.ReorderWindow)
+		pol, err := policy.NewSched(schedName, policy.SchedParams{Window: schedWindow})
+		if err != nil {
+			return nil, err
 		}
+		ctrl.SetPolicy(pol)
 		s.maprs = append(s.maprs, mapr)
 		s.chns = append(s.chns, chn)
 		s.ctrls = append(s.ctrls, ctrl)
 	}
 
 	if cfg.Prefetch.Enabled {
-		switch cfg.Prefetch.Scheme {
-		case "", "region":
-			s.pf, err = prefetch.New(prefetch.Config{
-				RegionBytes:      cfg.Prefetch.RegionBytes,
-				BlockBytes:       cfg.L2Block,
-				QueueDepth:       cfg.Prefetch.QueueDepth,
-				Policy:           cfg.Prefetch.Policy,
-				BankAware:        cfg.Prefetch.BankAware,
-				ThrottleAccuracy: cfg.Prefetch.ThrottleAccuracy,
-				ThrottleWindow:   cfg.Prefetch.ThrottleWindow,
-			})
-		case "sequential":
-			s.pf, err = prefetch.NewSequential(cfg.L2Block, cfg.Prefetch.Lookahead, 8*cfg.Prefetch.Lookahead)
-		case "stream":
-			table := cfg.Prefetch.TableSize
-			if table <= 0 {
-				table = 8
-			}
-			s.pf, err = prefetch.NewStream(cfg.L2Block, table, cfg.Prefetch.Lookahead)
+		scheme := cfg.Prefetch.Scheme
+		if scheme == "" {
+			scheme = "region"
 		}
+		s.pf, err = policy.NewPrefetcher(scheme, prefetchParams(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -274,6 +279,22 @@ func newSystem(cfg Config, gen trace.Generator, mem ExternalMemory) (*System, er
 	s.armObs()
 	s.armHarden()
 	return s, nil
+}
+
+// prefetchParams maps the system config onto the registry's factory
+// knobs; every scheme reads the subset that applies to it.
+func prefetchParams(cfg Config) policy.PrefetchParams {
+	return policy.PrefetchParams{
+		BlockBytes:       cfg.L2Block,
+		Lookahead:        cfg.Prefetch.Lookahead,
+		TableSize:        cfg.Prefetch.TableSize,
+		RegionBytes:      cfg.Prefetch.RegionBytes,
+		QueueDepth:       cfg.Prefetch.QueueDepth,
+		Policy:           cfg.Prefetch.Policy,
+		BankAware:        cfg.Prefetch.BankAware,
+		ThrottleAccuracy: cfg.Prefetch.ThrottleAccuracy,
+		ThrottleWindow:   cfg.Prefetch.ThrottleWindow,
+	}
 }
 
 // group routes a physical address to its controller: always 0 when

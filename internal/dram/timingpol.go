@@ -1,0 +1,136 @@
+package dram
+
+import "memsim/internal/sim"
+
+// TimingPolicy is the bank-timing seam: it resolves the activate
+// latency of each individual row activation, which is where the
+// tiered-latency and row-reuse schemes of the related work differ from
+// a uniform part. Implementations register in internal/policy under a
+// scheme name, which is how Config.BankTiming reaches them.
+//
+// The channel calls ActivateLatency exactly once per activate, in
+// access order, so deterministic internal state (the row-reuse table)
+// is safe; wall-clock time, randomness and map iteration are not.
+// A nil TimingPolicy means the flat scheme: every activate charges the
+// part's uniform ACT latency.
+type TimingPolicy interface {
+	// Name is the scheme name the policy registered under.
+	Name() string
+	// ActivateLatency returns the activate latency for opening row in
+	// (device, bank); flat is the part's uniform ACT latency. Our
+	// channel model folds tRCD and tRAS into this single activate
+	// charge, so scheme deltas scale it directly.
+	ActivateLatency(device, bank, row int, flat sim.Time) sim.Time
+	// Counters reports how many activates took the fast and slow
+	// paths, for the gated memsim_dram_*_activates_total metrics.
+	Counters() (fast, slow uint64)
+}
+
+// DefaultNearRows is the tiered scheme's default near-segment size:
+// one eighth of each bank's rows sit close to the sense amps.
+const DefaultNearRows = RowsPerBank / 8
+
+// TieredTiming models a TL-DRAM-style tiered-latency bank (Lee et
+// al., HPCA 2013): each bank's bitline is segmented by isolation
+// transistors into a near segment close to the sense amps and a far
+// segment behind it. Near-segment rows activate in roughly half the
+// time (the paper reports ~56% lower tRCD and ~47% lower tRAS); far
+// rows pay the flat part latency. Row indices below NearRows are the
+// near segment, matching a system that maps hot data low.
+type TieredTiming struct {
+	// NearRows is the number of near-segment rows per bank.
+	NearRows   int
+	fast, slow uint64
+}
+
+// NewTieredTiming returns the tiered scheme; nearRows <= 0 takes
+// DefaultNearRows.
+func NewTieredTiming(nearRows int) *TieredTiming {
+	if nearRows <= 0 {
+		nearRows = DefaultNearRows
+	}
+	return &TieredTiming{NearRows: nearRows}
+}
+
+// Name implements TimingPolicy.
+func (t *TieredTiming) Name() string { return "tiered" }
+
+// ActivateLatency implements TimingPolicy: near-segment rows activate
+// in half the flat latency.
+func (t *TieredTiming) ActivateLatency(_, _, row int, flat sim.Time) sim.Time {
+	if row < t.NearRows {
+		t.fast++
+		return flat / 2
+	}
+	t.slow++
+	return flat
+}
+
+// Counters implements TimingPolicy.
+func (t *TieredTiming) Counters() (fast, slow uint64) { return t.fast, t.slow }
+
+// DefaultReuseEntries is the row-reuse table's default capacity,
+// matching the per-bank-group table sizes the ChargeCache work
+// evaluates (128 entries covers its knee).
+const DefaultReuseEntries = 128
+
+// ReuseTiming models a ChargeCache-style fast path for recently
+// accessed rows (Hassan et al., HPCA 2016): a row activated shortly
+// after its previous activation still holds highly charged cells, so
+// the activate completes early. The policy keeps the last-activated
+// (device, bank, row) triples in a small LRU table; a hit charges 60%
+// of the flat activate latency (the work reduces tRCD/tRAS by ~40%),
+// a miss charges the flat latency and installs the row.
+type ReuseTiming struct {
+	entries    []reuseEntry
+	cap        int
+	tick       uint64
+	fast, slow uint64
+}
+
+// reuseEntry is one tracked row with its LRU timestamp.
+type reuseEntry struct {
+	dev, bank, row int
+	last           uint64
+}
+
+// NewReuseTiming returns the row-reuse scheme; entries <= 0 takes
+// DefaultReuseEntries.
+func NewReuseTiming(entries int) *ReuseTiming {
+	if entries <= 0 {
+		entries = DefaultReuseEntries
+	}
+	return &ReuseTiming{cap: entries}
+}
+
+// Name implements TimingPolicy.
+func (t *ReuseTiming) Name() string { return "rowreuse" }
+
+// ActivateLatency implements TimingPolicy.
+func (t *ReuseTiming) ActivateLatency(dev, bank, row int, flat sim.Time) sim.Time {
+	t.tick++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.dev == dev && e.bank == bank && e.row == row {
+			e.last = t.tick
+			t.fast++
+			return flat * 3 / 5
+		}
+	}
+	if len(t.entries) < t.cap {
+		t.entries = append(t.entries, reuseEntry{dev, bank, row, t.tick})
+	} else {
+		victim := 0
+		for i := 1; i < len(t.entries); i++ {
+			if t.entries[i].last < t.entries[victim].last {
+				victim = i
+			}
+		}
+		t.entries[victim] = reuseEntry{dev, bank, row, t.tick}
+	}
+	t.slow++
+	return flat
+}
+
+// Counters implements TimingPolicy.
+func (t *ReuseTiming) Counters() (fast, slow uint64) { return t.fast, t.slow }

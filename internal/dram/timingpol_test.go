@@ -1,0 +1,69 @@
+package dram
+
+import (
+	"testing"
+
+	"memsim/internal/sim"
+)
+
+func TestTieredTiming(t *testing.T) {
+	p := NewTieredTiming(0)
+	if p.NearRows != DefaultNearRows {
+		t.Fatalf("default NearRows = %d, want %d", p.NearRows, DefaultNearRows)
+	}
+	flat := sim.Time(1000)
+	if got := p.ActivateLatency(0, 0, 0, flat); got != flat/2 {
+		t.Fatalf("near-segment activate = %v, want %v", got, flat/2)
+	}
+	if got := p.ActivateLatency(0, 0, p.NearRows, flat); got != flat {
+		t.Fatalf("far-segment activate = %v, want %v", got, flat)
+	}
+	fast, slow := p.Counters()
+	if fast != 1 || slow != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", fast, slow)
+	}
+}
+
+func TestReuseTimingHitAndEvict(t *testing.T) {
+	p := NewReuseTiming(2)
+	flat := sim.Time(1000)
+
+	// First touch of any row is a miss at the flat latency.
+	if got := p.ActivateLatency(0, 0, 7, flat); got != flat {
+		t.Fatalf("cold activate = %v, want %v", got, flat)
+	}
+	// Re-activating the tracked row takes the fast path.
+	if got := p.ActivateLatency(0, 0, 7, flat); got != flat*3/5 {
+		t.Fatalf("reuse activate = %v, want %v", got, flat*3/5)
+	}
+	// Same row index in a different bank is a distinct entry.
+	if got := p.ActivateLatency(0, 1, 7, flat); got != flat {
+		t.Fatalf("cross-bank activate = %v, want %v (miss)", got, flat)
+	}
+
+	// Table is full (rows {0,0,7} and {0,1,7}); a third row evicts the
+	// LRU victim — the bank-0 entry, whose last touch is oldest.
+	if got := p.ActivateLatency(0, 2, 7, flat); got != flat {
+		t.Fatalf("filling activate = %v, want %v", got, flat)
+	}
+	// The bank-1 entry survived the eviction.
+	if got := p.ActivateLatency(0, 1, 7, flat); got != flat*3/5 {
+		t.Fatalf("surviving entry activate = %v, want %v (hit)", got, flat*3/5)
+	}
+	// The evicted bank-0 entry is gone.
+	if got := p.ActivateLatency(0, 0, 7, flat); got != flat {
+		t.Fatalf("evicted row re-activate = %v, want %v (miss)", got, flat)
+	}
+
+	fast, slow := p.Counters()
+	if fast != 2 || slow != 4 {
+		t.Fatalf("counters = %d/%d, want 2/4", fast, slow)
+	}
+}
+
+func TestReuseTimingDefaultCapacity(t *testing.T) {
+	p := NewReuseTiming(0)
+	if p.cap != DefaultReuseEntries {
+		t.Fatalf("default capacity = %d, want %d", p.cap, DefaultReuseEntries)
+	}
+}

@@ -40,8 +40,8 @@ func TestNewRunnerValidation(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"memsim/internal/policy"
 )
 
 func TestSchemesShape(t *testing.T) {
@@ -86,6 +88,60 @@ func TestInterleaveShape(t *testing.T) {
 		if row.MeanIPC <= 0 {
 			t.Fatalf("%s: IPC = %v", row.Name, row.MeanIPC)
 		}
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedZooShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.SchedZoo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per registered issue policy, in registry (sorted) order.
+	want := policy.Sched.Names()
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	for i, row := range res.Rows {
+		if row.Name != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, row.Name, want[i])
+		}
+		if row.MeanIPC <= 0 {
+			t.Fatalf("%s: IPC = %v", row.Name, row.MeanIPC)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingZooShape(t *testing.T) {
+	r := tinyRunner(t)
+	res, err := r.TimingZoo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := policy.Timings.Names()
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	byName := map[string]TimingZooRow{}
+	for i, row := range res.Rows {
+		if row.Name != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, row.Name, want[i])
+		}
+		byName[row.Name] = row
+	}
+	// Halving the activate latency on the near segment cannot slow the
+	// mean miss down.
+	if byName["tiered"].MissLatNs > byName["flat"].MissLatNs {
+		t.Fatalf("tiered miss latency %v ns > flat %v ns",
+			byName["tiered"].MissLatNs, byName["flat"].MissLatNs)
 	}
 	var buf bytes.Buffer
 	if err := res.Write(&buf); err != nil {

@@ -84,6 +84,8 @@ var registry = []Experiment{
 	{"throttle", "Sections 4.4/6 extension: accuracy throttling", write((*Runner).Throttle)},
 	{"schemes", "Section 5 baselines: sequential/stream/region prefetching", write((*Runner).Schemes)},
 	{"reorder", "Section 6 extension: open-row-first demand reordering", write((*Runner).Reorder)},
+	{"schedzoo", "Policy zoo: registered issue policies", write((*Runner).SchedZoo)},
+	{"timingzoo", "Policy zoo: registered bank-timing schemes", write((*Runner).TimingZoo)},
 	{"refresh", "Extension: DRAM refresh cost", write((*Runner).Refresh)},
 	{"interleave", "Section 6 extension: channel interleaving organization", write((*Runner).Interleave)},
 	{"pollution", "Section 5 alternative: insertion priority vs separate prefetch buffer", write((*Runner).Pollution)},

@@ -44,7 +44,7 @@ import (
 // where wall-clock time, global randomness and goroutines are banned
 // outright. Matched as trailing "internal/<name>" path segments so the
 // analyzer works identically on the real module and on test fixtures.
-var simCorePackages = []string{"sim", "core", "memctrl", "channel", "prefetch", "cache", "obs", "cluster"}
+var simCorePackages = []string{"sim", "core", "memctrl", "channel", "prefetch", "cache", "obs", "cluster", "policy", "dram"}
 
 // Analyzer is the simdeterminism pass.
 var Analyzer = &analysis.Analyzer{

@@ -28,6 +28,8 @@ func TestInSimCore(t *testing.T) {
 		{"memsim/internal/channel", true},
 		{"memsim/internal/prefetch", true},
 		{"memsim/internal/cache", true},
+		{"memsim/internal/policy", true},
+		{"memsim/internal/dram", true},
 		{"memsim/internal/experiments", false},
 		{"memsim/internal/harden", false},
 		{"memsim/cmd/memsim", false},

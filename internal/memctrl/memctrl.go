@@ -124,13 +124,22 @@ type Controller struct {
 	// issued, used to detect demand misses arriving mid-prefetch.
 	prefetchInFlight sim.Time
 
-	// reorderWindow, when positive, lets the controller pick a queued
-	// demand or writeback whose row is already open ahead of older
-	// entries, scanning up to this many queue heads. The paper's
-	// controller issues demand misses strictly in order (Section 5);
-	// this implements the "reordering demand misses and writebacks"
-	// extension from its future work (Section 6).
-	reorderWindow int
+	// policy picks which queued demand or writeback issues next. FCFS
+	// (the default) is the paper's strict in-order issue (Section 5);
+	// FRFCFS variants implement the "reordering demand misses and
+	// writebacks" extension from its future work (Section 6).
+	policy IssuePolicy
+	// rowOpenFn is the pre-bound open-row probe handed to the policy,
+	// bound once so the hot path allocates no closures.
+	rowOpenFn func(*Request) bool
+
+	// Counterfactual decision tracing (see EnableCounterfactual): the
+	// interned trace id of the primary policy, the armed alternative
+	// policies, and the test-only decision hook. All empty/nil unless
+	// armed; contested decisions then pay for the snapshot.
+	policyID   uint64
+	alts       []schedAlt
+	onDecision func(DecisionRecord)
 
 	// decideCB is the pre-bound decision callback (see sim.Callback),
 	// bound once at construction so arming costs no allocation.
@@ -154,8 +163,9 @@ type Controller struct {
 
 // New wires a controller to a channel and address mapping.
 func New(sched *sim.Scheduler, ch *channel.Channel, mapper addrmap.Mapper) *Controller {
-	c := &Controller{sched: sched, ch: ch, mapper: mapper}
+	c := &Controller{sched: sched, ch: ch, mapper: mapper, policy: FCFS{}}
 	c.decideCB = func(sim.Time, any) { c.decide() }
+	c.rowOpenFn = func(r *Request) bool { return c.ch.RowOpen(c.mapper.Map(r.Addr)) }
 	return c
 }
 
@@ -163,10 +173,46 @@ func New(sched *sim.Scheduler, ch *channel.Channel, mapper addrmap.Mapper) *Cont
 // disables prefetching.
 func (c *Controller) SetPrefetchSource(s PrefetchSource) { c.source = s }
 
-// SetReorderWindow enables open-row-first scheduling of demand misses
-// and writebacks over the first window queue entries; zero restores
-// the paper's strict in-order issue.
-func (c *Controller) SetReorderWindow(window int) { c.reorderWindow = window }
+// SetPolicy installs the issue policy; nil restores the paper's
+// strict in-order FCFS.
+func (c *Controller) SetPolicy(p IssuePolicy) {
+	if p == nil {
+		p = FCFS{}
+	}
+	c.policy = p
+}
+
+// Policy reports the installed issue policy.
+func (c *Controller) Policy() IssuePolicy { return c.policy }
+
+// SetReorderWindow is the legacy knob over SetPolicy: a window above
+// one installs the capped FR-FCFS variant scanning that many queue
+// heads; anything else restores strict in-order issue.
+func (c *Controller) SetReorderWindow(window int) {
+	if window > 1 {
+		c.SetPolicy(FRFCFS{Window: window})
+	} else {
+		c.SetPolicy(FCFS{})
+	}
+}
+
+// EnableCounterfactual arms per-decision divergence tracing: every
+// contested issue decision (more than one queued request) additionally
+// evaluates each alternative policy on the same queue snapshot and
+// emits one EvSchedDecision plus one EvSchedAlt per alternative. Call
+// after Observe so the policy names intern onto the run's tracer.
+func (c *Controller) EnableCounterfactual(alts []IssuePolicy) {
+	c.policyID = c.tr.InternPolicy(c.policy.Name())
+	c.alts = c.alts[:0]
+	for _, p := range alts {
+		c.alts = append(c.alts, schedAlt{pol: p, id: c.tr.InternPolicy(p.Name())})
+	}
+}
+
+// OnDecision registers a hook invoked with every contested issue
+// decision's inputs and outcome — the testing seam behind the
+// counterfactual round-trip contract.
+func (c *Controller) OnDecision(fn func(DecisionRecord)) { c.onDecision = fn }
 
 // Stats returns a snapshot of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -331,26 +377,61 @@ func (c *Controller) decide() {
 func fireFirstData(at sim.Time, arg any) { arg.(*Request).OnFirstData(at) }
 func fireComplete(at sim.Time, arg any)  { arg.(*Request).OnComplete(at) }
 
-// pop removes and returns the next request from the queue: the oldest,
-// unless reordering is enabled and a younger entry within the window
-// would hit an open row.
+// pop removes and returns the next request from the queue as chosen by
+// the issue policy. With a single queued request the policy is not
+// consulted — every policy would pick it, and the uncontested case is
+// the hot path.
 func (c *Controller) pop(q *[]*Request) *Request {
 	idx := 0
-	if c.reorderWindow > 1 {
-		limit := min(c.reorderWindow, len(*q))
-		for i := 0; i < limit; i++ {
-			r := (*q)[i]
-			if c.ch.RowOpen(c.mapper.Map(r.Addr)) {
-				idx = i
-				if i > 0 {
-					c.stats.Reordered++
-				}
-				break
-			}
+	if len(*q) > 1 {
+		idx = c.policy.Pick(*q, c.rowOpenFn)
+		if idx > 0 {
+			c.stats.Reordered++
+		}
+		if len(c.alts) > 0 || c.onDecision != nil {
+			c.recordDecision(*q, idx)
 		}
 	}
 	r := (*q)[idx]
 	copy((*q)[idx:], (*q)[idx+1:])
 	*q = (*q)[:len(*q)-1]
 	return r
+}
+
+// recordDecision snapshots a contested decision's inputs, replays each
+// armed alternative policy on the snapshot, and emits the
+// counterfactual trace events. Alternatives see the recorded open-row
+// bits — not the live channel — so the emitted trace equals the
+// recorded inputs replayed offline, which the round-trip test checks.
+func (c *Controller) recordDecision(q []*Request, chosen int) {
+	rec := DecisionRecord{
+		Addrs:  make([]uint64, len(q)),
+		Open:   make([]bool, len(q)),
+		Chosen: chosen,
+	}
+	for i, r := range q {
+		rec.Addrs[i] = r.Addr
+		rec.Open[i] = c.rowOpenFn(r)
+	}
+	snapOpen := func(r *Request) bool {
+		for i := range q {
+			if q[i] == r {
+				return rec.Open[i]
+			}
+		}
+		return false
+	}
+	c.tr.Instant(obs.EvSchedDecision, c.group, q[chosen].Addr, c.policyID)
+	for _, a := range c.alts {
+		pick := a.pol.Pick(q, snapOpen)
+		rec.Alts = append(rec.Alts, AltPick{Name: a.pol.Name(), Chosen: pick})
+		var agree uint64
+		if pick == chosen {
+			agree = 1
+		}
+		c.tr.Instant(obs.EvSchedAlt, c.group, q[pick].Addr, a.id<<1|agree)
+	}
+	if c.onDecision != nil {
+		c.onDecision(rec)
+	}
 }

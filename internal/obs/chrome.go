@@ -51,6 +51,7 @@ const (
 	laneBanks     = 2 // bank open/close churn
 	tidPrefetch   = 9001
 	tidHierarchy  = 9002
+	tidDecisions  = 9003
 	chromePid     = 1
 )
 
@@ -63,6 +64,8 @@ func tidFor(e Event) int {
 		return int(e.Group)*lanesPerGroup + laneBanks
 	case EvPrefetchPromote, EvRegionCreate, EvRegionReplace:
 		return tidPrefetch
+	case EvSchedDecision, EvSchedAlt, EvPrefetchDecision, EvPrefetchAlt:
+		return tidDecisions
 	default: // EvPrefetchDrop, EvLateMerge, EvPollution
 		return tidHierarchy
 	}
@@ -75,6 +78,8 @@ func tidName(tid int) string {
 		return "prefetch engine"
 	case tidHierarchy:
 		return "hierarchy"
+	case tidDecisions:
+		return "decisions"
 	}
 	group := (tid - 1) / lanesPerGroup
 	if (tid-1)%lanesPerGroup == laneChannel-1 {
@@ -99,9 +104,19 @@ func className(c uint64) string {
 	return strconv.FormatUint(c, 10)
 }
 
+// policyName resolves an interned policy id against the system's
+// name table, falling back to a positional label for foreign traces.
+func policyName(policies []string, id uint64) string {
+	if id < uint64(len(policies)) {
+		return policies[id]
+	}
+	return "policy-" + strconv.FormatUint(id, 10)
+}
+
 // eventArgs decodes the kind-specific payload into viewer-friendly
-// args. Keys are stable; cmd/obsdump parses them back.
-func eventArgs(e Event) map[string]string {
+// args. Keys are stable; cmd/obsdump parses them back. policies is
+// the tracer's interned policy-name table (decision events only).
+func eventArgs(e Event, policies []string) map[string]string {
 	switch e.Kind {
 	case EvChannelBusy:
 		return map[string]string{"class": className(e.A), "rowhit": strconv.FormatUint(e.B, 10)}
@@ -117,6 +132,14 @@ func eventArgs(e Event) map[string]string {
 		return map[string]string{"addr": hex(e.A), "reason": DropReason(e.B).String()}
 	case EvPrefetchPromote, EvRegionCreate, EvRegionReplace:
 		return map[string]string{"region": hex(e.A)}
+	case EvSchedDecision, EvPrefetchDecision:
+		return map[string]string{"addr": hex(e.A), "policy": policyName(policies, e.B)}
+	case EvSchedAlt, EvPrefetchAlt:
+		return map[string]string{
+			"alt":    hex(e.A),
+			"policy": policyName(policies, e.B>>1),
+			"agree":  strconv.FormatUint(e.B&1, 10),
+		}
 	default:
 		return nil
 	}
@@ -134,6 +157,9 @@ func ChromeEvents(events []Event) []ChromeEvent {
 type SystemEvents struct {
 	Label  string
 	Events []Event
+	// Policies is the system tracer's interned policy-name table
+	// (Tracer.PolicyNames); decision events resolve names against it.
+	Policies []string
 }
 
 // ChromeEventsMulti renders several systems' streams into one trace.
@@ -172,7 +198,7 @@ func ChromeEventsMulti(systems []SystemEvents) []ChromeEvent {
 				Ts:   micros(e.At),
 				Pid:  pid,
 				Tid:  tidFor(e),
-				Args: eventArgs(e),
+				Args: eventArgs(e, sys.Policies),
 			}
 			if e.Kind.isSpan() {
 				ce.Ph = "X"
@@ -192,8 +218,12 @@ func (k EventKind) isSpan() bool { return k == EvChannelBusy || k == EvRefresh }
 
 // WriteChromeTrace writes the events as a chrome://tracing-loadable
 // JSON file. Output is byte-deterministic for a given event sequence.
+// The tracer's policy-name table rides along so decision events carry
+// readable policy names.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	return WriteChromeTrace(w, t.Events())
+	return WriteChromeTraceMulti(w, []SystemEvents{
+		{Label: "memsim", Events: t.Events(), Policies: t.PolicyNames()},
+	})
 }
 
 // WriteChromeTrace writes an explicit event sequence.

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"memsim/internal/sim"
+)
+
+func TestInternPolicy(t *testing.T) {
+	tr := NewTracer(16, func() sim.Time { return 0 })
+	if got := tr.InternPolicy("frfcfs"); got != 0 {
+		t.Fatalf("first intern = %d, want 0", got)
+	}
+	if got := tr.InternPolicy("fcfs"); got != 1 {
+		t.Fatalf("second intern = %d, want 1", got)
+	}
+	// Interning an existing name returns the original id.
+	if got := tr.InternPolicy("frfcfs"); got != 0 {
+		t.Fatalf("re-intern = %d, want 0", got)
+	}
+	names := tr.PolicyNames()
+	if len(names) != 2 || names[0] != "frfcfs" || names[1] != "fcfs" {
+		t.Fatalf("PolicyNames = %v", names)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// tracer's intern table.
+	names[0] = "mutated"
+	if got := tr.PolicyNames()[0]; got != "frfcfs" {
+		t.Fatalf("intern table corrupted: %q", got)
+	}
+
+	// A nil tracer is inert, matching the disabled-tracing path.
+	var nilTr *Tracer
+	if got := nilTr.InternPolicy("x"); got != 0 {
+		t.Fatalf("nil InternPolicy = %d, want 0", got)
+	}
+	if got := nilTr.PolicyNames(); got != nil {
+		t.Fatalf("nil PolicyNames = %v, want nil", got)
+	}
+}
+
+func TestDecisionEventNames(t *testing.T) {
+	for _, tc := range []struct {
+		kind EventKind
+		want string
+	}{
+		{EvSchedDecision, "sched-decision"},
+		{EvSchedAlt, "sched-alt"},
+		{EvPrefetchDecision, "prefetch-decision"},
+		{EvPrefetchAlt, "prefetch-alt"},
+	} {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.kind, got, tc.want)
+		}
+		k, ok := KindByName(tc.want)
+		if !ok || k != tc.kind {
+			t.Errorf("KindByName(%q) = %v, %v", tc.want, k, ok)
+		}
+	}
+}
+
+func TestDecisionTrack(t *testing.T) {
+	for _, kind := range []EventKind{EvSchedDecision, EvSchedAlt, EvPrefetchDecision, EvPrefetchAlt} {
+		if got := tidFor(Event{Kind: kind}); got != tidDecisions {
+			t.Errorf("tidFor(%s) = %d, want %d", kind, got, tidDecisions)
+		}
+	}
+}
+
+// TestDecisionEventArgs pins the counterfactual packing contract the
+// trace consumers (obsdump) rely on: decision events carry the primary
+// policy id in B, alternative events pack id<<1|agree.
+func TestDecisionEventArgs(t *testing.T) {
+	policies := []string{"frfcfs", "fcfs"}
+
+	args := eventArgs(Event{Kind: EvSchedDecision, A: 0x40, B: 0}, policies)
+	if args["policy"] != "frfcfs" || args["addr"] != "0x40" {
+		t.Fatalf("decision args = %v", args)
+	}
+
+	// Alt with id 1, agree bit set.
+	args = eventArgs(Event{Kind: EvSchedAlt, A: 0x80, B: 1<<1 | 1}, policies)
+	if args["policy"] != "fcfs" || args["agree"] != "1" || args["alt"] != "0x80" {
+		t.Fatalf("agreeing alt args = %v", args)
+	}
+
+	// Alt with id 0, disagreeing.
+	args = eventArgs(Event{Kind: EvPrefetchAlt, A: 0xc0, B: 0}, policies)
+	if args["policy"] != "frfcfs" || args["agree"] != "0" {
+		t.Fatalf("diverging alt args = %v", args)
+	}
+
+	// An id outside the interned table degrades to a stable placeholder
+	// rather than panicking (stale trace vs. newer reader).
+	args = eventArgs(Event{Kind: EvSchedDecision, A: 0, B: 7}, policies)
+	if args["policy"] != "policy-7" {
+		t.Fatalf("fallback policy name = %q", args["policy"])
+	}
+}
+
+// TestChromeDecisionRoundTrip writes decision events through the full
+// multi-system writer and parses them back, checking the policy names
+// survive the trip from intern table to JSON args.
+func TestChromeDecisionRoundTrip(t *testing.T) {
+	tr := NewTracer(16, func() sim.Time { return 1000 })
+	primary := tr.InternPolicy("frfcfs")
+	alt := tr.InternPolicy("fcfs")
+	tr.Instant(EvSchedDecision, 0, 0x40, primary)
+	tr.Instant(EvSchedAlt, 0, 0x80, alt<<1|0)
+
+	var buf bytes.Buffer
+	err := WriteChromeTraceMulti(&buf, []SystemEvents{{
+		Label:    "memsim",
+		Events:   tr.Events(),
+		Policies: tr.PolicyNames(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDecision, sawAlt bool
+	for _, e := range parsed.TraceEvents {
+		switch e.Name {
+		case "sched-decision":
+			sawDecision = true
+			if e.Args["policy"] != "frfcfs" {
+				t.Fatalf("decision policy = %q", e.Args["policy"])
+			}
+		case "sched-alt":
+			sawAlt = true
+			if e.Args["policy"] != "fcfs" || e.Args["agree"] != "0" {
+				t.Fatalf("alt args = %v", e.Args)
+			}
+		}
+	}
+	if !sawDecision || !sawAlt {
+		t.Fatalf("decision=%v alt=%v: events missing from trace", sawDecision, sawAlt)
+	}
+}

@@ -54,6 +54,25 @@ const (
 	// EvPollution is an instant: a prefetched block was evicted from
 	// the cache without ever being referenced. A is the block address.
 	EvPollution
+	// EvSchedDecision is an instant: the controller resolved a
+	// contested issue decision (more than one queued request). A is the
+	// chosen request's address, B the interned id of the primary
+	// scheduling policy (see Tracer.InternPolicy).
+	EvSchedDecision
+	// EvSchedAlt is an instant: what one armed alternative scheduling
+	// policy would have issued at the same decision point. A is the
+	// alternative's chosen address, B packs id<<1 | agree, where agree
+	// is 1 when it matched the primary choice.
+	EvSchedAlt
+	// EvPrefetchDecision is an instant: the primary prefetch scheme
+	// produced its next candidate. A is the block address, B the
+	// interned id of the primary scheme.
+	EvPrefetchDecision
+	// EvPrefetchAlt is an instant: what one shadow prefetch scheme
+	// would have fetched next at the same point. A is the shadow's
+	// candidate block (0 when it had none and agree is 0), B packs
+	// id<<1 | agree.
+	EvPrefetchAlt
 
 	numEventKinds
 )
@@ -85,6 +104,14 @@ func (k EventKind) String() string {
 		return "late-merge"
 	case EvPollution:
 		return "pollution"
+	case EvSchedDecision:
+		return "sched-decision"
+	case EvSchedAlt:
+		return "sched-alt"
+	case EvPrefetchDecision:
+		return "prefetch-decision"
+	case EvPrefetchAlt:
+		return "prefetch-alt"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -193,6 +220,9 @@ type Tracer struct {
 	buf     []Event
 	next    int // ring cursor: the oldest retained event once full
 	emitted uint64
+	// policies is the interned policy-name table; decision events
+	// reference names by index (see InternPolicy).
+	policies []string
 }
 
 // NewTracer returns a tracer holding the most recent capacity events.
@@ -246,6 +276,32 @@ func (t *Tracer) InstantAt(kind EventKind, group int, at sim.Time, a, b uint64) 
 		return
 	}
 	t.Emit(Event{At: at, A: a, B: b, Kind: kind, Group: int32(group)})
+}
+
+// InternPolicy registers a policy name on the tracer and returns its
+// stable id — the compact policy reference packed into decision
+// events' payloads. Repeated calls with one name return one id; on a
+// nil tracer the id is 0.
+func (t *Tracer) InternPolicy(name string) uint64 {
+	if t == nil {
+		return 0
+	}
+	for i, n := range t.policies {
+		if n == name {
+			return uint64(i)
+		}
+	}
+	t.policies = append(t.policies, name)
+	return uint64(len(t.policies) - 1)
+}
+
+// PolicyNames returns a copy of the interned policy-name table,
+// indexed by the ids InternPolicy issued.
+func (t *Tracer) PolicyNames() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.policies...)
 }
 
 // Len reports how many events the ring currently holds.

@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"memsim/internal/prefetch"
+)
+
+// PrefetchParams carries the prefetch-scheme knobs; factories read the
+// subset that applies to them.
+type PrefetchParams struct {
+	// BlockBytes is the L2 block size every scheme generates in.
+	BlockBytes int
+	// Lookahead is the sequential/stream prefetch depth.
+	Lookahead int
+	// TableSize is the stream scheme's table size; <= 0 defaults to 8.
+	TableSize int
+	// RegionBytes/QueueDepth/Policy/BankAware/Throttle* tune the region
+	// scheme.
+	RegionBytes      int
+	QueueDepth       int
+	Policy           prefetch.Policy
+	BankAware        bool
+	ThrottleAccuracy float64
+	ThrottleWindow   int
+}
+
+// Prefetchers is the prefetch-scheme registry.
+var Prefetchers = NewRegistry[func(PrefetchParams) (prefetch.Prefetcher, error)]("prefetch")
+
+func init() {
+	Prefetchers.Register("region", func(p PrefetchParams) (prefetch.Prefetcher, error) {
+		e, err := prefetch.New(prefetch.Config{
+			RegionBytes:      p.RegionBytes,
+			BlockBytes:       p.BlockBytes,
+			QueueDepth:       p.QueueDepth,
+			Policy:           p.Policy,
+			BankAware:        p.BankAware,
+			ThrottleAccuracy: p.ThrottleAccuracy,
+			ThrottleWindow:   p.ThrottleWindow,
+		})
+		if err != nil {
+			// Explicit nil: a typed-nil *Engine inside the interface
+			// would pass != nil checks at the call sites.
+			return nil, err
+		}
+		return e, nil
+	})
+	Prefetchers.Register("sequential", func(p PrefetchParams) (prefetch.Prefetcher, error) {
+		s, err := prefetch.NewSequential(p.BlockBytes, p.Lookahead, 8*p.Lookahead)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	Prefetchers.Register("stream", func(p PrefetchParams) (prefetch.Prefetcher, error) {
+		table := p.TableSize
+		if table <= 0 {
+			table = 8
+		}
+		s, err := prefetch.NewStream(p.BlockBytes, table, p.Lookahead)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+}
+
+// NewPrefetcher builds the named prefetch scheme.
+func NewPrefetcher(name string, p PrefetchParams) (prefetch.Prefetcher, error) {
+	f, err := Prefetchers.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(p)
+}

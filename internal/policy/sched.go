@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"fmt"
+
+	"memsim/internal/memctrl"
+)
+
+// SchedParams carries the knobs a scheduling factory may use.
+type SchedParams struct {
+	// Window bounds the FR-FCFS scan depth; only "frfcfs-cap" uses it.
+	Window int
+}
+
+// Sched is the memory-scheduling registry: factories produce the
+// controller's issue policy.
+var Sched = NewRegistry[func(SchedParams) (memctrl.IssuePolicy, error)]("scheduling")
+
+func init() {
+	Sched.Register("fcfs", func(SchedParams) (memctrl.IssuePolicy, error) {
+		return memctrl.FCFS{}, nil
+	})
+	Sched.Register("frfcfs", func(SchedParams) (memctrl.IssuePolicy, error) {
+		return memctrl.FRFCFS{}, nil
+	})
+	Sched.Register("frfcfs-cap", func(p SchedParams) (memctrl.IssuePolicy, error) {
+		if p.Window < 2 {
+			return nil, fmt.Errorf("policy: frfcfs-cap needs a reorder window >= 2, got %d", p.Window)
+		}
+		return memctrl.FRFCFS{Window: p.Window}, nil
+	})
+}
+
+// NewSched builds the named scheduling policy.
+func NewSched(name string, p SchedParams) (memctrl.IssuePolicy, error) {
+	f, err := Sched.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(p)
+}
+
+// SchedAlternatives builds every registered scheduling policy except
+// the primary, in sorted name order — the counterfactual alternative
+// set. window parameterizes capped variants; values below 2 take a
+// default window of 8 so "frfcfs-cap" stays constructible as an
+// alternative even when the primary run never set one.
+func SchedAlternatives(primary string, window int) []memctrl.IssuePolicy {
+	if window < 2 {
+		window = 8
+	}
+	var alts []memctrl.IssuePolicy
+	for _, name := range Sched.Names() {
+		if name == primary {
+			continue
+		}
+		pol, err := NewSched(name, SchedParams{Window: window})
+		if err != nil {
+			continue
+		}
+		alts = append(alts, pol)
+	}
+	return alts
+}

@@ -1,0 +1,42 @@
+package policy
+
+import "memsim/internal/dram"
+
+// TimingParams carries the bank-timing knobs.
+type TimingParams struct {
+	// NearRows sizes the tiered scheme's near segment; <= 0 defaults.
+	NearRows int
+	// ReuseEntries sizes the row-reuse table; <= 0 defaults.
+	ReuseEntries int
+}
+
+// Timings is the bank-timing registry. The "flat" factory returns a
+// nil TimingPolicy — the channel's uniform-ACT fast path — so the flat
+// scheme is addressable by name without costing an interface call per
+// activate.
+var Timings = NewRegistry[func(TimingParams) (dram.TimingPolicy, error)]("bank-timing")
+
+func init() {
+	Timings.Register("flat", func(TimingParams) (dram.TimingPolicy, error) {
+		return nil, nil
+	})
+	Timings.Register("tiered", func(p TimingParams) (dram.TimingPolicy, error) {
+		return dram.NewTieredTiming(p.NearRows), nil
+	})
+	Timings.Register("rowreuse", func(p TimingParams) (dram.TimingPolicy, error) {
+		return dram.NewReuseTiming(p.ReuseEntries), nil
+	})
+}
+
+// NewTiming builds the named bank-timing policy; "" and "flat" return
+// nil (the flat scheme).
+func NewTiming(name string, p TimingParams) (dram.TimingPolicy, error) {
+	if name == "" {
+		return nil, nil
+	}
+	f, err := Timings.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(p)
+}

@@ -74,6 +74,8 @@ type ConfigOverrides struct {
 	ClosedPage       *bool   `json:"closed_page,omitempty"`       // row-buffer policy
 	Refresh          *bool   `json:"refresh,omitempty"`           // model DRAM refresh
 	ReorderWindow    *int    `json:"reorder_window,omitempty"`    // open-row-first issue window
+	SchedPolicy      *string `json:"sched_policy,omitempty"`      // "fcfs", "frfcfs", "frfcfs-cap"
+	BankTiming       *string `json:"bank_timing,omitempty"`       // "flat", "tiered", "rowreuse"
 	Engine           *string `json:"engine,omitempty"`            // "calendar", "heap"
 	Prefetch         *bool   `json:"prefetch,omitempty"`          // enable the tuned prefetch engine
 	PrefetchScheme   *string `json:"prefetch_scheme,omitempty"`   // "region", "sequential", "stream"
@@ -114,6 +116,17 @@ func (sp *JobSpec) BuildConfig() (core.Config, error) {
 		}
 		if o.ReorderWindow != nil {
 			cfg.ReorderWindow = *o.ReorderWindow
+		}
+		if o.SchedPolicy != nil {
+			cfg.SchedPolicy = *o.SchedPolicy
+			// frfcfs-cap needs a scan bound; give it the tuned window
+			// when the spec set none, so the one-field override works.
+			if cfg.SchedPolicy == "frfcfs-cap" && cfg.ReorderWindow < 2 && o.ReorderWindow == nil {
+				cfg.ReorderWindow = 8
+			}
+		}
+		if o.BankTiming != nil {
+			cfg.BankTiming = *o.BankTiming
 		}
 		if o.Engine != nil {
 			cfg.Engine = *o.Engine

@@ -383,6 +383,8 @@ func TestMalformedBodies(t *testing.T) {
 		{"unknown benchmark", `{"benchmarks":["nope"]}`, http.StatusBadRequest, codeInvalidSpec},
 		{"negative deadline", `{"deadline_seconds":-1}`, http.StatusBadRequest, codeInvalidSpec},
 		{"invalid config", `{"config":{"channels":3}}`, http.StatusUnprocessableEntity, codeInvalidConfig},
+		{"unknown sched policy", `{"config":{"sched_policy":"exotic"}}`, http.StatusUnprocessableEntity, codeInvalidConfig},
+		{"unknown bank timing", `{"config":{"bank_timing":"exotic"}}`, http.StatusUnprocessableEntity, codeInvalidConfig},
 		{"huge job", `{"instrs":999999999999}`, http.StatusBadRequest, codeJobTooLarge},
 	}
 	for _, tc := range cases {
@@ -581,5 +583,42 @@ func TestJobEndpoints(t *testing.T) {
 	}
 	if code := get("/jobs"); code != http.StatusOK {
 		t.Fatalf("list = %d", code)
+	}
+}
+
+// TestPolicyOverrides pins the policy-zoo override wiring: scheme
+// names land in the Config, and the one-field frfcfs-cap override
+// defaults its scan window so it admits without a paired
+// reorder_window.
+func TestPolicyOverrides(t *testing.T) {
+	sched := "frfcfs-cap"
+	spec := JobSpec{Config: &ConfigOverrides{SchedPolicy: &sched}}
+	cfg, err := spec.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SchedPolicy != "frfcfs-cap" || cfg.ReorderWindow != 8 {
+		t.Fatalf("sched override: policy %q window %d, want frfcfs-cap/8", cfg.SchedPolicy, cfg.ReorderWindow)
+	}
+
+	timing := "rowreuse"
+	spec = JobSpec{Config: &ConfigOverrides{BankTiming: &timing}}
+	cfg, err = spec.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BankTiming != "rowreuse" {
+		t.Fatalf("bank timing override: %q", cfg.BankTiming)
+	}
+
+	// An explicit reorder_window wins over the frfcfs-cap default.
+	window := 16
+	spec = JobSpec{Config: &ConfigOverrides{SchedPolicy: &sched, ReorderWindow: &window}}
+	cfg, err = spec.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ReorderWindow != 16 {
+		t.Fatalf("explicit window overridden to %d", cfg.ReorderWindow)
 	}
 }

@@ -5,8 +5,11 @@ import (
 	"sort"
 	"testing"
 
+	"memsim/internal/cache"
 	"memsim/internal/core"
 	"memsim/internal/obs"
+	"memsim/internal/policy"
+	"memsim/internal/prefetch"
 	"memsim/internal/workload"
 )
 
@@ -46,6 +49,50 @@ func systemMatrix() map[string]core.Config {
 	indep.ReorderWindow = 8
 	m["independent-reorder"] = indep
 
+	// Policy zoo: one cell per registered scheme of every registry, so
+	// each policy's event pattern is held to cross-engine bit-identity.
+	// A divergence in any cell shrinks through the ddmin harness in
+	// shrink.go like every other difftest failure.
+	for _, name := range policy.Sched.Names() {
+		cfg := core.Base()
+		cfg.Channels = 1 // one contested queue so Pick actually runs
+		cfg.Prefetch = core.TunedPrefetch()
+		cfg.Prefetch.Scheduled = false
+		cfg.SchedPolicy = name
+		if name == "frfcfs-cap" {
+			cfg.ReorderWindow = 8
+		}
+		m["sched-"+name] = cfg
+	}
+	for _, name := range policy.Timings.Names() {
+		cfg := core.Base()
+		cfg.Mapping = "xor"
+		cfg.BankTiming = name
+		m["timing-"+name] = cfg
+	}
+	for _, name := range policy.Prefetchers.Names() {
+		cfg := core.Base()
+		cfg.Prefetch = core.PrefetchConfig{
+			Enabled:     true,
+			Scheme:      name,
+			Lookahead:   4,
+			TableSize:   8,
+			RegionBytes: 4096,
+			QueueDepth:  8,
+			Policy:      prefetch.LIFO,
+			BankAware:   true,
+			Scheduled:   true,
+			Insert:      cache.LRU,
+		}
+		m["prefetch-"+name] = cfg
+	}
+
+	// Counterfactual tracing must not perturb either engine: alternates
+	// see recorded inputs only.
+	cf := core.Tuned()
+	cf.Counterfactual = true
+	m["counterfactual"] = cf
+
 	return m
 }
 
@@ -56,7 +103,7 @@ func runSystem(t *testing.T, cfg core.Config, engine string) (core.Result, map[s
 	cfg.Engine = engine
 	cfg.MaxInstrs = sysInstrs
 	cfg.WarmupInstrs = sysInstrs
-	cfg.Obs = obs.Config{Metrics: true}
+	cfg.Obs = obs.Config{Metrics: true, Trace: cfg.Counterfactual}
 	p, err := workload.ByName("gcc")
 	if err != nil {
 		t.Fatal(err)
